@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and table rendering.
+
+Every benchmark file regenerates one figure of the paper's §IV: it
+builds a fresh simulated testbed, runs the exact workload the paper
+describes, prints the figure's series, and asserts the *shape* the paper
+reports (who wins, by what factor, where the overhead amortizes).
+"""
+
+import pytest
+
+from repro import Machine
+from repro.coi import start_coi_daemon
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+def fresh_machine(cards: int = 1) -> Machine:
+    """The paper's testbed: E5-2695v2 host + 3120P card(s)."""
+    return Machine(cards=cards).boot()
+
+
+def fresh_machine_with_daemon(cards: int = 1) -> Machine:
+    m = fresh_machine(cards)
+    for c in range(cards):
+        start_coi_daemon(m, card=c)
+    return m
+
+
+def fmt_size(nbytes: int) -> str:
+    if nbytes >= GB:
+        return f"{nbytes / GB:g}GB"
+    if nbytes >= MB:
+        return f"{nbytes / MB:g}MB"
+    if nbytes >= 1024:
+        return f"{nbytes / 1024:g}KB"
+    return f"{nbytes}B"
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Render one figure's series as the paper would tabulate it."""
+    widths = [max(len(h), *(len(r[i]) for r in rows)) for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """pytest-benchmark wrapper: one deterministic simulation per round."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

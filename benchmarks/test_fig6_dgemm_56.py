@@ -1,0 +1,10 @@
+"""Figure 6: launch and execution of dgemm using 56 threads (1/core)."""
+
+from dgemm_common import report_and_check, run_dgemm_figure
+
+THREADS = 56
+
+
+def test_fig6_dgemm_56_threads(run_once):
+    results = run_once(run_dgemm_figure, THREADS)
+    report_and_check(results, THREADS, fig="6")

@@ -1,0 +1,15 @@
+"""Figure 8: launch and execution of dgemm using 224 threads (4/core,
+the full hardware-thread complement of the 56 usable cores)."""
+
+from dgemm_common import report_and_check, run_dgemm_figure
+
+THREADS = 224
+
+
+def test_fig8_dgemm_224_threads(run_once):
+    results = run_once(run_dgemm_figure, THREADS)
+    report_and_check(results, THREADS, fig="8")
+    # oversubscription of cores (4 threads/core) is handled by the uOS
+    # scheduler and still improves on 112 threads
+    for n, native, vphi in results:
+        assert native.compute_time > 0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Native-mode dgemm, host vs VM — the §IV-C experiment, one size.
+
+Launches Intel's cblas_dgemm sample on the coprocessor with
+micnativeloadex, once from the host and once from inside a VM, and
+compares the end-to-end time (launch + binary transfer + execution).
+For a small problem the result is also verified numerically on the card.
+
+Run:  python examples/native_dgemm.py [N] [threads]
+"""
+
+import sys
+
+from repro import Machine
+from repro.coi import start_coi_daemon
+from repro.mpss import micinfo, micnativeloadex
+from repro.workloads import ClientContext, DGEMM_BINARY, input_bytes
+
+
+def launch(machine, ctx, n, threads):
+    p = ctx.spawn(micnativeloadex(machine, ctx, DGEMM_BINARY,
+                                  argv=[str(n), str(threads)]))
+    machine.run()
+    return p.value
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    threads = int(sys.argv[2]) if len(sys.argv) > 2 else 112
+
+    # --- host run -------------------------------------------------------
+    machine = Machine(cards=1).boot()
+    start_coi_daemon(machine, card=0)
+    print(micinfo(machine.kernel.sysfs, cards=1))
+    native = launch(machine, ClientContext.native(machine), n, threads)
+
+    # --- VM run (fresh, identical machine) ------------------------------
+    machine2 = Machine(cards=1).boot()
+    start_coi_daemon(machine2, card=0)
+    vm = machine2.create_vm("vm0")
+    vphi = launch(machine2, ClientContext.guest(vm), n, threads)
+
+    print(f"\ndgemm N={n} ({input_bytes(n) >> 20} MB of inputs), "
+          f"{threads} threads, "
+          f"{DGEMM_BINARY.total_transfer_bytes >> 20} MB of binaries shipped:")
+    print(f"  host : total {native.total_time:.4f}s "
+          f"(transfer {native.transfer_time:.4f}s, compute {native.compute_time:.4f}s)")
+    print(f"  vPHI : total {vphi.total_time:.4f}s "
+          f"(transfer {vphi.transfer_time:.4f}s, compute {vphi.compute_time:.4f}s)")
+    print(f"  normalized total time (vPHI/host): "
+          f"{vphi.total_time / native.total_time:.3f}")
+
+    if "c_checksum" in native.exit_record:
+        for label, r in (("host", native), ("vPHI", vphi)):
+            ok = abs(r.exit_record["c_checksum"] - r.exit_record["c_expected"]) < 1e-6
+            print(f"  {label} numerical verification on card: {'OK' if ok else 'FAIL'}")
+            assert ok
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

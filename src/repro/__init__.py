@@ -1,0 +1,21 @@
+"""vPHI reproduction: Xeon Phi virtualization for VMs, fully simulated.
+
+Reproduces Gerangelos & Koziris, "vPHI: Enabling Xeon Phi Capabilities in
+Virtual Machines" (IPDPS Workshops 2017) as a deterministic full-stack
+simulation: Xeon Phi card + uOS, PCIe/DMA, SCIF, virtio, QEMU/KVM and the
+vPHI frontend/backend on top.
+
+Quick start::
+
+    from repro import Machine
+    m = Machine(cards=1).boot()
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .system import Machine
+
+__version__ = "1.0.0"
+
+__all__ = ["Machine", "__version__"]

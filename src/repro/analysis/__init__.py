@@ -1,0 +1,50 @@
+"""Analysis: calibration constants, closed-form predictors, figure data."""
+
+from .breakdown import PhaseShare, overhead_breakdown, render_breakdown
+from .calibration import (
+    CARD_3120P,
+    GB,
+    GBPS,
+    HOST,
+    SCIF_COSTS,
+    VPHI_COSTS,
+    CardParams,
+    HostParams,
+    ScifCosts,
+    VPhiCosts,
+    predicted_native_latency,
+    predicted_native_rma_time,
+    predicted_vphi_latency,
+    predicted_vphi_rma_time,
+)
+from .figures import FigureSeries, fig4_latency, fig5_throughput, fig678_dgemm, to_csv
+from .timeline import TimelineStep, render_timeline, request_timeline, traced_tags
+
+__all__ = [
+    "CARD_3120P",
+    "PhaseShare",
+    "overhead_breakdown",
+    "render_breakdown",
+    "render_timeline",
+    "request_timeline",
+    "traced_tags",
+    "TimelineStep",
+    "CardParams",
+    "FigureSeries",
+    "GB",
+    "GBPS",
+    "HOST",
+    "HostParams",
+    "SCIF_COSTS",
+    "ScifCosts",
+    "VPHI_COSTS",
+    "VPhiCosts",
+    "fig4_latency",
+    "fig5_throughput",
+    "fig678_dgemm",
+    "predicted_native_latency",
+    "predicted_native_rma_time",
+    "predicted_vphi_latency",
+    "predicted_vphi_rma_time",
+    "to_csv",
+]

@@ -1,0 +1,238 @@
+"""Calibrated timing constants for the whole stack.
+
+Single source of truth: every layer charges simulated time using these
+numbers, and they are fitted so the model hits the paper's §IV anchors:
+
+* native SCIF send-recv of 1 B completes in **7 µs** (Fig 4);
+* the same operation through vPHI takes **382 µs**, i.e. +375 µs of
+  virtualization overhead, **93 %** of which is the frontend driver's
+  sleep/wake-up scheme (§IV-B breakdown);
+* native remote-read peaks at **6.4 GB/s**, vPHI at **4.6 GB/s = 72 %**
+  (Fig 5).
+
+The derivations are spelled out next to each constant; tests in
+``tests/analysis/test_calibration.py`` assert the arithmetic so the anchors
+cannot drift silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.core import US
+
+__all__ = [
+    "HostParams",
+    "CardParams",
+    "ScifCosts",
+    "VPhiCosts",
+    "HOST",
+    "CARD_3120P",
+    "SCIF_COSTS",
+    "VPHI_COSTS",
+    "GB",
+    "GBPS",
+]
+
+GB = 1 << 30
+#: 1 GB/s in bytes per simulated second — decimal, matching the PCIe
+#: convention (the link math yields 6.4e9 B/s for gen2 x16 at 80%).
+GBPS = 1e9
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """The paper's host: 1x Xeon E5-2695 v2, 64 GB DDR3-1600."""
+
+    cores: int = 12
+    ram_bytes: int = 64 * GB
+    #: sustained single-stream memcpy bandwidth of the guest's vCPU doing
+    #: the user<->kernel bounce copies (DDR3-1600, quad channel; the fit
+    #: below needs ~18 GB/s for the 72 % peak-throughput anchor).
+    memcpy_bandwidth: float = 18.0 * GBPS
+
+
+@dataclass(frozen=True)
+class CardParams:
+    """Intel Xeon Phi 3120P (§IV-A)."""
+
+    name: str = "3120P"
+    family: str = "x100"
+    #: 57 physical cores; the uOS reserves one for itself (§III: the
+    #: scheduler "runs on a dedicated Xeon Phi core").
+    cores: int = 57
+    threads_per_core: int = 4
+    clock_hz: float = 1.10e9
+    gddr_bytes: int = 6 * GB
+    #: DP flops per core per cycle (512-bit FMA: 8 lanes x 2).
+    dp_flops_per_cycle: int = 16
+
+    @property
+    def peak_dp_flops(self) -> float:
+        return self.cores * self.clock_hz * self.dp_flops_per_cycle
+
+    @property
+    def usable_cores(self) -> int:
+        return self.cores - 1
+
+
+@dataclass(frozen=True)
+class ScifCosts:
+    """Native SCIF path costs.
+
+    Fig 4 anchor: one 1-byte send-recv completes in 7 µs =
+    ``syscall + driver + pcie_msg + card_isr + pcie_msg + completion``
+    = 0.5 + 1.0 + 2.0 + 1.0 + 2.0 + 0.5.
+    """
+
+    syscall: float = 0.5 * US
+    driver: float = 1.0 * US
+    #: one-way latency of a small PCIe message/doorbell.
+    pcie_msg: float = 2.0 * US
+    card_isr: float = 1.0 * US
+    completion: float = 0.5 * US
+    #: send-recv payloads move through driver-managed ring copies, slower
+    #: than the DMA path (programmed-I/O-ish).
+    sendrecv_bandwidth: float = 2.5 * GBPS
+    #: fixed DMA programming cost per RMA request.
+    rma_setup: float = 10.0 * US
+    #: native remote-read peak — PCIe gen2 x16 effective (Fig 5 anchor).
+    rma_bandwidth: float = 6.4 * GBPS
+    #: threshold below which SCIF uses CPU copies instead of DMA.
+    dma_threshold: int = 4096
+    #: per-page cost of get_user_pages during scif_register.
+    pin_page: float = 0.15 * US
+
+    @property
+    def one_byte_latency(self) -> float:
+        return (
+            self.syscall
+            + self.driver
+            + self.pcie_msg
+            + self.card_isr
+            + self.pcie_msg
+            + self.completion
+        )
+
+
+@dataclass(frozen=True)
+class VPhiCosts:
+    """vPHI additional path costs.
+
+    Fig 4 anchor: vPHI adds 375 µs to the 1-byte latency, split as
+    93 % wait-scheme (349 µs) + 7 % everything else (26 µs =
+    frontend 5 + kick/vmexit 5 + backend 6 + host syscall 0.5 (already in
+    ScifCosts, so only the *extra* guest syscall counts) + irq 5 +
+    guest-side copies/return 4.5).
+    """
+
+    #: frontend driver request marshalling (guest kernel).
+    frontend: float = 5.0 * US
+    #: virtio kick -> vmexit -> backend notified.
+    kick_vmexit: float = 5.0 * US
+    #: backend pops the ring, maps buffers, dispatches the host syscall.
+    backend: float = 6.0 * US
+    #: virtual interrupt injection host -> guest.
+    irq_inject: float = 5.0 * US
+    #: guest syscall entry/exit + response demux back to user space.
+    guest_return: float = 5.5 * US
+    #: the frontend's interrupt-mode sleep/wake-up scheme: enqueue on the
+    #: wait queue, schedule away, and on wakeup re-schedule + scan the
+    #: shared ring.  93 % of the 375 µs overhead (§IV-B).
+    wakeup_scheme: float = 348.75 * US
+    #: per-additional-sleeper ring-scan cost when wake_all fans out.
+    wakeup_per_waiter: float = 2.0 * US
+    #: polling mode alternative: ring-check period (ablation A1).
+    poll_interval: float = 0.5 * US
+    #: per-KMALLOC-chunk ring descriptor + backend submission cost (no
+    #: guest wakeup per chunk: the frontend sleeps once per ioctl).  Each
+    #: chunk additionally pays the DMA setup (10 µs) and one completion
+    #: message (2 µs) on the wire, so the effective per-chunk overhead is
+    #: ~22 µs — which is what lands the Fig 5 peak at 72 % of native.
+    per_chunk: float = 10.0 * US
+    #: cost to create + destroy a QEMU worker thread (non-blocking mode).
+    worker_spawn: float = 25.0 * US
+    worker_teardown: float = 10.0 * US
+
+    @property
+    def fixed_overhead(self) -> float:
+        """Size-independent extra latency vs native (the Fig 4 offset)."""
+        return (
+            self.frontend
+            + self.kick_vmexit
+            + self.backend
+            + self.irq_inject
+            + self.guest_return
+            + self.wakeup_scheme
+        )
+
+    @property
+    def wait_scheme_share(self) -> float:
+        return self.wakeup_scheme / self.fixed_overhead
+
+
+#: module-level singletons used across the stack
+HOST = HostParams()
+CARD_3120P = CardParams()
+SCIF_COSTS = ScifCosts()
+VPHI_COSTS = VPhiCosts()
+
+
+def predicted_native_latency(nbytes: int, costs: ScifCosts = SCIF_COSTS) -> float:
+    """Closed-form Fig 4 native series (for calibration tests)."""
+    return costs.one_byte_latency + nbytes / costs.sendrecv_bandwidth
+
+
+def predicted_vphi_latency(
+    nbytes: int,
+    costs: ScifCosts = SCIF_COSTS,
+    vcosts: VPhiCosts = VPHI_COSTS,
+    host: HostParams = HOST,
+) -> float:
+    """Closed-form Fig 4 vPHI series: native + fixed offset + the guest's
+    user->kmalloc bounce copy on the send side."""
+    return (
+        predicted_native_latency(nbytes, costs)
+        + vcosts.fixed_overhead
+        + nbytes / host.memcpy_bandwidth
+    )
+
+
+def predicted_native_rma_time(nbytes: int, costs: ScifCosts = SCIF_COSTS) -> float:
+    """Closed-form Fig 5 native remote-read completion time."""
+    return (
+        costs.syscall
+        + costs.driver
+        + costs.rma_setup
+        + nbytes / costs.rma_bandwidth
+        + costs.pcie_msg
+        + costs.completion
+    )
+
+
+def predicted_vphi_rma_time(
+    nbytes: int,
+    chunk: int = 4 * 1024 * 1024,
+    costs: ScifCosts = SCIF_COSTS,
+    vcosts: VPhiCosts = VPHI_COSTS,
+    host: HostParams = HOST,
+) -> float:
+    """Closed-form Fig 5 vPHI remote-read (scif_vreadfrom) completion time.
+
+    One ioctl pays the fixed vPHI overhead once; each KMALLOC chunk pays a
+    ring submission (10 µs) + DMA setup (10 µs) + completion message
+    (2 µs), rides the link, and the whole payload is bounce-copied
+    kernel->user in the guest once.  Peak throughput:
+    1 / (22 µs/4 MB + 1/6.4 + 1/18) GB/s = 4.6 GB/s = 72 % of native.
+    """
+    nchunks = max(1, -(-nbytes // chunk))
+    per_chunk = vcosts.per_chunk + costs.rma_setup + costs.pcie_msg
+    return (
+        costs.syscall
+        + costs.driver
+        + vcosts.fixed_overhead
+        + nchunks * per_chunk
+        + nbytes / costs.rma_bandwidth
+        + nbytes / host.memcpy_bandwidth
+        + costs.completion
+    )

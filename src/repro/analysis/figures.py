@@ -1,0 +1,110 @@
+"""Programmatic figure data: run the evaluation, return/serialize series.
+
+The benchmark files under ``benchmarks/`` assert shapes; this module is
+the library face of the same experiments — it returns the raw series so
+downstream users can plot or export them (``to_csv``).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["FigureSeries", "fig4_latency", "fig5_throughput", "fig678_dgemm", "to_csv"]
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: column names + rows."""
+
+    figure: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        i = self.columns.index(name)
+        return [r[i] for r in self.rows]
+
+
+def to_csv(series: FigureSeries) -> str:
+    out = io.StringIO()
+    out.write(",".join(series.columns) + "\n")
+    for row in series.rows:
+        out.write(",".join(f"{v:.9g}" if isinstance(v, float) else str(v) for v in row))
+        out.write("\n")
+    return out.getvalue()
+
+
+def _fresh_machine():
+    from ..system import Machine
+
+    return Machine(cards=1).boot()
+
+
+def fig4_latency(sizes: Optional[Sequence[int]] = None) -> FigureSeries:
+    """Fig 4: send-recv latency (seconds) per message size, both stacks."""
+    from ..workloads import ClientContext, sendrecv_latency
+
+    sizes = list(sizes or (1, 64, 256, 1024, 4096, 16384, 65536))
+    machine = _fresh_machine()
+    native = sendrecv_latency(machine, ClientContext.native(machine), sizes)
+    machine2 = _fresh_machine()
+    vm = machine2.create_vm("vm0")
+    vphi = sendrecv_latency(machine2, ClientContext.guest(vm), sizes)
+    series = FigureSeries("fig4", ["size_bytes", "native_s", "vphi_s"])
+    for (s, nl), (_, vl) in zip(native, vphi):
+        series.rows.append((s, nl, vl))
+    return series
+
+
+def fig5_throughput(sizes: Optional[Sequence[int]] = None) -> FigureSeries:
+    """Fig 5: remote-read throughput (bytes/s) per transfer size."""
+    from ..workloads import ClientContext, rma_read_throughput
+
+    MB = 1 << 20
+    sizes = list(sizes or (64 * 1024, 256 * 1024, MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB))
+    machine = _fresh_machine()
+    native = rma_read_throughput(machine, ClientContext.native(machine), sizes)
+    machine2 = _fresh_machine()
+    vm = machine2.create_vm("vm0")
+    vphi = rma_read_throughput(machine2, ClientContext.guest(vm), sizes)
+    series = FigureSeries("fig5", ["size_bytes", "native_bps", "vphi_bps"])
+    for (s, nb), (_, vb) in zip(native, vphi):
+        series.rows.append((s, nb, vb))
+    return series
+
+
+def fig678_dgemm(threads: int, problem_sizes: Optional[Sequence[int]] = None) -> FigureSeries:
+    """Figs 6-8: dgemm total time per input size, both stacks."""
+    from ..coi import start_coi_daemon
+    from ..mpss import micnativeloadex
+    from ..workloads import ClientContext, DGEMM_BINARY, input_bytes
+
+    problem_sizes = list(problem_sizes or (500, 1000, 2000, 4000, 8000))
+    series = FigureSeries(
+        f"fig_dgemm_{threads}",
+        ["n", "input_bytes", "native_total_s", "vphi_total_s", "compute_s"],
+    )
+    for n in problem_sizes:
+        machine = _fresh_machine()
+        start_coi_daemon(machine, card=0)
+        ctx = ClientContext.native(machine)
+        p = ctx.spawn(micnativeloadex(machine, ctx, DGEMM_BINARY,
+                                      argv=[str(n), str(threads)]))
+        machine.run()
+        native = p.value
+
+        machine2 = _fresh_machine()
+        start_coi_daemon(machine2, card=0)
+        vm = machine2.create_vm("vm0")
+        gctx = ClientContext.guest(vm)
+        p2 = gctx.spawn(micnativeloadex(machine2, gctx, DGEMM_BINARY,
+                                        argv=[str(n), str(threads)]))
+        machine2.run()
+        vphi = p2.value
+        series.rows.append(
+            (n, input_bytes(n), native.total_time, vphi.total_time,
+             native.compute_time)
+        )
+    return series

@@ -1,0 +1,72 @@
+"""Per-request timelines: Fig 3's I/O path, annotated with live times.
+
+Enable the ``vphi.timeline`` trace category on a VM's frontend *and* the
+machine tracer (the backend emits there), run traffic, then render what
+one request actually did::
+
+    vm.vphi.frontend.tracer.enable("vphi.timeline")
+    machine.tracer.enable("vphi.timeline")
+    ...
+    print(render_timeline(request_timeline(vm, machine, tag)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimelineStep", "request_timeline", "render_timeline", "traced_tags"]
+
+
+@dataclass(frozen=True)
+class TimelineStep:
+    time: float
+    elapsed: float  # since the request's first event
+    message: str
+    op: str
+
+
+def _records_for(vm, machine, tag: int):
+    records = [
+        r for r in vm.vphi.frontend.tracer.find("vphi.timeline")
+        if r.field("tag") == tag
+    ]
+    records += [
+        r for r in machine.tracer.find("vphi.timeline")
+        if r.field("tag") == tag and r.field("vm") == vm.name
+    ]
+    records.sort(key=lambda r: r.time)
+    return records
+
+
+def traced_tags(vm) -> list[int]:
+    """Tags with frontend-side timeline records, in submission order."""
+    seen: list[int] = []
+    for r in vm.vphi.frontend.tracer.find("vphi.timeline"):
+        tag = r.field("tag")
+        if tag not in seen:
+            seen.append(tag)
+    return seen
+
+
+def request_timeline(vm, machine, tag: int) -> list[TimelineStep]:
+    """The ordered steps one request took through the stack."""
+    records = _records_for(vm, machine, tag)
+    if not records:
+        return []
+    t0 = records[0].time
+    return [
+        TimelineStep(r.time, r.time - t0, r.message, r.field("op", "?"))
+        for r in records
+    ]
+
+
+def render_timeline(steps: list[TimelineStep]) -> str:
+    if not steps:
+        return "(no timeline records — enable the 'vphi.timeline' category)"
+    op = steps[0].op
+    lines = [f"request timeline ({op}):"]
+    for step in steps:
+        lines.append(f"  +{step.elapsed * 1e6:8.1f} us  {step.message}")
+    total = steps[-1].elapsed
+    lines.append(f"  total ring round trip: {total * 1e6:.1f} us")
+    return "\n".join(lines)

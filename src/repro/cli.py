@@ -1,0 +1,147 @@
+"""Command-line interface: drive the simulated testbed from a shell.
+
+    python -m repro micinfo
+    python -m repro fig4 [--sizes 1,1024,65536]
+    python -m repro fig5 [--sizes 1048576,268435456]
+    python -m repro dgemm --n 2000 --threads 112 [--vm]
+    python -m repro stream --n 20000000 --iters 10 [--vm]
+
+Every command builds the paper's testbed (one 3120P), runs the workload
+deterministically, and prints the measured series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main"]
+
+
+def _parse_sizes(text: str) -> list[int]:
+    return [int(s) for s in text.split(",") if s]
+
+
+def _cmd_micinfo(args) -> int:
+    from .mpss import micinfo
+    from .system import Machine
+
+    machine = Machine(cards=args.cards).boot()
+    print(micinfo(machine.kernel.sysfs, cards=args.cards))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .analysis import fig4_latency, to_csv
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    series = fig4_latency(sizes)
+    if args.csv:
+        print(to_csv(series), end="")
+        return 0
+    print(f"{'size':>10}  {'native(us)':>11}  {'vPHI(us)':>10}")
+    for size, nl, vl in series.rows:
+        print(f"{size:>10}  {nl * 1e6:>11.1f}  {vl * 1e6:>10.1f}")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .analysis import fig5_throughput, to_csv
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    series = fig5_throughput(sizes)
+    if args.csv:
+        print(to_csv(series), end="")
+        return 0
+    print(f"{'size':>12}  {'native(GB/s)':>13}  {'vPHI(GB/s)':>11}  {'ratio':>6}")
+    for size, nb, vb in series.rows:
+        print(f"{size:>12}  {nb / 1e9:>13.2f}  {vb / 1e9:>11.2f}  {vb / nb:>6.0%}")
+    return 0
+
+
+def _launch(args, binary, argv) -> int:
+    from .coi import start_coi_daemon
+    from .mpss import micnativeloadex
+    from .system import Machine
+    from .workloads.microbench import ClientContext
+
+    machine = Machine(cards=1).boot()
+    start_coi_daemon(machine, card=0)
+    if args.vm:
+        vm = machine.create_vm("vm0")
+        ctx = ClientContext.guest(vm)
+    else:
+        ctx = ClientContext.native(machine)
+    p = ctx.spawn(micnativeloadex(machine, ctx, binary, argv=argv))
+    machine.run()
+    res = p.value
+    where = "VM (vPHI)" if args.vm else "host"
+    print(f"{binary.name} from {where}: status={res.status}")
+    print(f"  total    : {res.total_time:.6f} s")
+    print(f"  transfer : {res.transfer_time:.6f} s "
+          f"({res.transferred_bytes >> 20} MB of binaries)")
+    print(f"  compute  : {res.compute_time:.6f} s")
+    for key in ("c_checksum", "c_expected", "triad_gbps"):
+        if key in res.exit_record:
+            print(f"  {key:<9}: {res.exit_record[key]:.6g}")
+    return 0 if res.status == 0 else 1
+
+
+def _cmd_dgemm(args) -> int:
+    from .workloads import DGEMM_BINARY
+
+    return _launch(args, DGEMM_BINARY, [str(args.n), str(args.threads)])
+
+
+def _cmd_stream(args) -> int:
+    from .workloads import STREAM_BINARY
+
+    return _launch(args, STREAM_BINARY,
+                   [str(args.n), str(args.iters), str(args.threads)])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="vPHI reproduction: simulated Xeon Phi virtualization testbed",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("micinfo", help="print card inventory")
+    p.add_argument("--cards", type=int, default=1)
+    p.set_defaults(fn=_cmd_micinfo)
+
+    p = sub.add_parser("fig4", help="send-recv latency, native vs vPHI")
+    p.add_argument("--sizes", help="comma-separated byte sizes")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="remote-read throughput, native vs vPHI")
+    p.add_argument("--sizes", help="comma-separated byte sizes")
+    p.add_argument("--csv", action="store_true")
+    p.set_defaults(fn=_cmd_fig5)
+
+    p = sub.add_parser("dgemm", help="launch dgemm via micnativeloadex")
+    p.add_argument("--n", type=int, default=1000)
+    p.add_argument("--threads", type=int, default=112)
+    p.add_argument("--vm", action="store_true", help="launch from inside a VM")
+    p.set_defaults(fn=_cmd_dgemm)
+
+    p = sub.add_parser("stream", help="launch the STREAM triad kernel")
+    p.add_argument("--n", type=int, default=10_000_000)
+    p.add_argument("--iters", type=int, default=10)
+    p.add_argument("--threads", type=int, default=112)
+    p.add_argument("--vm", action="store_true", help="launch from inside a VM")
+    p.set_defaults(fn=_cmd_stream)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

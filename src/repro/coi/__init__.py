@@ -1,0 +1,23 @@
+"""COI: the Coprocessor Offload Infrastructure layered on SCIF (§II-B)."""
+
+from .client import COIBufferHandle, COIConnection, COIError, COIProcessHandle
+from .daemon import CoiDaemon, start_coi_daemon
+from .offload_runtime import In, InOut, OffloadRuntime, Out
+from .pipeline import PipelineManager, RunRecord
+from .protocol import COI_DAEMON_PORT
+
+__all__ = [
+    "COIBufferHandle",
+    "COIConnection",
+    "COIError",
+    "COIProcessHandle",
+    "COI_DAEMON_PORT",
+    "CoiDaemon",
+    "In",
+    "InOut",
+    "OffloadRuntime",
+    "Out",
+    "PipelineManager",
+    "RunRecord",
+    "start_coi_daemon",
+]

@@ -1,0 +1,116 @@
+"""A `#pragma offload`-style runtime on top of COI.
+
+§II-B: COI exists so "runtime frameworks" can be built on it — the Intel
+compiler's offload pragmas are the canonical client.  This module is
+that kind of client: declare which arrays go *in*, *out* or *inout*, and
+the runtime handles COI buffers, transfers, pipeline enqueue and result
+marshalling.  It works identically from the host and from inside a VM
+(the ClientContext decides which libscif it rides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .client import COIBufferHandle, COIConnection, COIError
+
+__all__ = ["In", "Out", "InOut", "OffloadRuntime"]
+
+
+@dataclass(frozen=True)
+class In:
+    """Array shipped to the card before the kernel runs."""
+
+    array: np.ndarray
+
+
+@dataclass(frozen=True)
+class Out:
+    """Array allocated on the card and fetched after the kernel."""
+
+    shape: tuple
+    dtype: type = np.float64
+
+
+@dataclass(frozen=True)
+class InOut:
+    """Array shipped in and fetched back."""
+
+    array: np.ndarray
+
+
+Spec = Union[In, Out, InOut]
+
+
+class OffloadRuntime:
+    """One offload context: a COI connection + one pipeline."""
+
+    def __init__(self, ctx, machine, card: int = 0):
+        self.ctx = ctx
+        self.machine = machine
+        self.card = card
+        self.conn: Optional[COIConnection] = None
+        self.pipeline: Optional[int] = None
+        self.offloads = 0
+
+    # ------------------------------------------------------------------
+    def open(self):
+        """Process: connect to the card's coi_daemon and set up."""
+        self.conn = COIConnection(self.ctx.lib, self.machine.card_node_id(self.card))
+        yield from self.conn.connect()
+        self.pipeline = yield from self.conn.pipeline_create()
+        return self
+
+    def close(self):
+        if self.conn is not None:
+            yield from self.conn.pipeline_destroy(self.pipeline)
+            yield from self.conn.close()
+            self.conn = None
+
+    # ------------------------------------------------------------------
+    def run(self, function: str, arrays: Sequence[Spec], args: Optional[dict] = None):
+        """Process: one synchronous offload.
+
+        Returns ``(kernel_result, outputs)`` where ``outputs`` is the
+        list of fetched arrays for every Out/InOut spec, in order.
+        """
+        if self.conn is None:
+            raise COIError("runtime not opened")
+        self.offloads += 1
+        buffers: list[COIBufferHandle] = []
+        writes: list[COIBufferHandle] = []
+        fetch: list[tuple[COIBufferHandle, tuple, type]] = []
+        for spec in arrays:
+            if isinstance(spec, (In, InOut)):
+                data = np.ascontiguousarray(spec.array)
+                buf = yield from self.conn.buffer_create(data.nbytes)
+                yield from buf.write(data.tobytes())
+                buffers.append(buf)
+                if isinstance(spec, InOut):
+                    writes.append(buf)
+                    fetch.append((buf, data.shape, data.dtype))
+            elif isinstance(spec, Out):
+                nbytes = int(np.prod(spec.shape)) * np.dtype(spec.dtype).itemsize
+                buf = yield from self.conn.buffer_create(nbytes)
+                buffers.append(buf)
+                writes.append(buf)
+                fetch.append((buf, tuple(spec.shape), spec.dtype))
+            else:
+                raise COIError(f"bad array spec {spec!r}")
+        run_id = yield from self.conn.pipeline_enqueue(
+            self.pipeline, function, buffers=buffers, writes=writes,
+            args=dict(args or {}),
+        )
+        result = yield from self.conn.run_wait(run_id)
+        outputs = []
+        for buf, shape, dtype in fetch:
+            raw = yield from buf.read()
+            outputs.append(
+                np.frombuffer(raw.tobytes(), dtype=dtype).reshape(shape)
+            )
+        for buf in buffers:
+            yield from buf.destroy()
+        return result, outputs

@@ -1,0 +1,120 @@
+"""COI pipelines: ordered asynchronous kernel queues with buffer hazards.
+
+Real COI exposes ``COIPipeline`` — per-process command queues.  Run-
+function calls enqueue; calls on one pipeline execute in order, while
+distinct pipelines run concurrently *except* when they touch the same
+``COIBuffer``: the runtime tracks buffer ownership and serializes
+conflicting accesses (write-after-write / read-after-write hazards).
+
+This is the machinery an offload runtime (e.g. the compiler's ``#pragma
+offload``) builds on; implementing it makes the offload-mode examples
+representative rather than toy RPC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..sim import Channel, ChannelClosed, Event, Simulator
+
+__all__ = ["PipelineManager", "RunRecord"]
+
+
+class RunRecord:
+    """One enqueued run-function: its buffers, completion event, result."""
+
+    __slots__ = ("run_id", "function", "buffer_ids", "writes", "done", "result")
+
+    def __init__(self, run_id: int, function: str, buffer_ids: Sequence[int],
+                 writes: Sequence[int], done: Event):
+        self.run_id = run_id
+        self.function = function
+        self.buffer_ids = list(buffer_ids)
+        #: subset of buffer_ids the kernel writes (hazard tracking)
+        self.writes = set(writes)
+        self.done = done
+        self.result = None
+
+
+class PipelineManager:
+    """Card-side execution of pipelines for one COI process/connection."""
+
+    def __init__(self, sim: Simulator, uos, buffers: dict):
+        self.sim = sim
+        self.uos = uos
+        #: shared with the daemon: buffer_id -> (PhysExtent,)
+        self.buffers = buffers
+        self._run_ids = itertools.count(1)
+        self._queues: dict[int, Channel] = {}
+        self._pipeline_ids = itertools.count(1)
+        #: buffer_id -> event of the last enqueued *write* touching it
+        self._last_writer: dict[int, Event] = {}
+        #: buffer_id -> events of reads since the last write
+        self._readers_since_write: dict[int, list[Event]] = {}
+        self.completed: list[RunRecord] = []
+
+    # ------------------------------------------------------------------
+    def create_pipeline(self) -> int:
+        pid = next(self._pipeline_ids)
+        queue = Channel(self.sim, name=f"coi-pipe{pid}")
+        self._queues[pid] = queue
+        self.sim.spawn(self._pipeline_loop(pid, queue), name=f"coi-pipe{pid}")
+        return pid
+
+    def destroy_pipeline(self, pid: int) -> None:
+        queue = self._queues.pop(pid, None)
+        if queue is not None:
+            queue.close()
+
+    def enqueue(self, pid: int, function: str, buffer_ids: Sequence[int],
+                writes: Sequence[int], args: dict) -> RunRecord:
+        """Queue one run-function; returns its record (``done`` fires with
+        the kernel's result)."""
+        if pid not in self._queues:
+            raise KeyError(f"no pipeline {pid}")
+        record = RunRecord(next(self._run_ids), function, buffer_ids, writes,
+                           self.sim.event(f"coi-run"))
+        # hazard edges: this run must wait for the last writer of every
+        # buffer it touches, and a write additionally waits for readers.
+        deps: list[Event] = []
+        for b in record.buffer_ids:
+            w = self._last_writer.get(b)
+            if w is not None and not w.fired:
+                deps.append(w)
+        for b in record.writes:
+            for r in self._readers_since_write.get(b, ()):
+                if not r.fired:
+                    deps.append(r)
+        # update hazard state *at enqueue time* (program order)
+        for b in record.writes:
+            self._last_writer[b] = record.done
+            self._readers_since_write[b] = []
+        for b in set(record.buffer_ids) - record.writes:
+            self._readers_since_write.setdefault(b, []).append(record.done)
+        self._queues[pid].try_put((record, deps, dict(args)))
+        return record
+
+    # ------------------------------------------------------------------
+    def _pipeline_loop(self, pid: int, queue: Channel):
+        while True:
+            try:
+                record, deps, args = yield queue.get()
+            except ChannelClosed:
+                return
+            if deps:
+                yield self.sim.all_of(deps)
+            result = yield from self._execute(record, args)
+            record.result = result
+            self.completed.append(record)
+            record.done.succeed(result)
+
+    def _execute(self, record: RunRecord, args: dict):
+        from ..workloads.offload import lookup_offload_function
+
+        fn = lookup_offload_function(record.function)
+        if fn is None:
+            return {"ok": False, "error": f"no offload function {record.function!r}"}
+        extents = [self.buffers[b][0] for b in record.buffer_ids]
+        result = yield from fn(self.uos, extents, args)
+        return {"ok": True, "result": result}

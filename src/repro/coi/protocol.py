@@ -1,0 +1,58 @@
+"""COI wire protocol: length-framed pickled records over SCIF messaging.
+
+COI "uses SCIF as the transport layer and abstracts the low-level
+details" (§II-B).  Every message is an 8-byte big-endian length followed
+by a pickled dict; bulk payloads (binaries, buffer data) follow as raw
+bytes so they ride SCIF's data path, not the control path.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "COI_DAEMON_PORT",
+    "frame",
+    "send_msg",
+    "recv_msg",
+    "send_raw",
+    "recv_raw",
+]
+
+#: the well-known SCIF port coi_daemon listens on (mirrors MPSS's choice
+#: of a reserved low port).
+COI_DAEMON_PORT = 300
+
+
+def frame(obj: Any) -> bytes:
+    body = pickle.dumps(obj)
+    return len(body).to_bytes(8, "big") + body
+
+
+def send_msg(lib, ep, obj: Any):
+    """Process: send one framed control record."""
+    n = yield from lib.send(ep, frame(obj))
+    return n
+
+
+def recv_msg(lib, ep):
+    """Process: receive one framed control record."""
+    hdr = yield from lib.recv(ep, 8)
+    length = int.from_bytes(hdr.tobytes(), "big")
+    body = yield from lib.recv(ep, length)
+    return pickle.loads(body.tobytes())
+
+
+def send_raw(lib, ep, data):
+    """Process: send a bulk payload (already sized by a prior record)."""
+    n = yield from lib.send(ep, data)
+    return n
+
+
+def recv_raw(lib, ep, nbytes: int) -> np.ndarray:
+    """Process: receive exactly ``nbytes`` of bulk payload."""
+    data = yield from lib.recv(ep, nbytes)
+    return data

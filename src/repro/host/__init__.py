@@ -1,0 +1,7 @@
+"""Host kernel substrate: mic sysfs, /dev/mic/scif char device."""
+
+from .ioctl import IoctlRequest, ScifIoctl
+from .kernel import HostKernel
+from .scif_chardev import ScifCharDevice, ScifFile
+
+__all__ = ["HostKernel", "IoctlRequest", "ScifCharDevice", "ScifFile", "ScifIoctl"]

@@ -1,0 +1,49 @@
+"""The host Linux kernel: mic driver sysfs tree + SCIF char device.
+
+Also carries the paper's *one* host-side modification: the KVM fault hook
+for ``VM_PFNPHI``-tagged VMAs lives in :mod:`repro.kvm.fault`, and the
+"<15 LOC in [the] host SCIF driver" half is the PFN stashing that
+:class:`~repro.vphi.backend.VPhiBackend` performs when it services a
+guest ``scif_mmap``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mem import PhysicalMemory
+from ..oscore import Kernel, Sysfs
+from ..phi import XeonPhiDevice
+from ..scif import ScifFabric, ScifNode
+from ..sim import Simulator
+from .scif_chardev import ScifCharDevice
+
+__all__ = ["HostKernel"]
+
+
+class HostKernel(Kernel):
+    """Host-side kernel: owns system RAM, the mic sysfs tree and SCIF."""
+
+    def __init__(self, sim: Simulator, phys: PhysicalMemory):
+        super().__init__(sim, phys, name="host-linux")
+        self.sysfs = Sysfs()
+        self.scif_node: Optional[ScifNode] = None
+        self.scif_dev: Optional[ScifCharDevice] = None
+
+    def attach_scif(self, fabric: ScifFabric) -> ScifNode:
+        """Load the host SCIF driver: node 0 + /dev/mic/scif."""
+        self.scif_node = fabric.attach_host(self)
+        self.scif_dev = ScifCharDevice(fabric, self.scif_node)
+        return self.scif_node
+
+    def publish_mic_sysfs(self, device: XeonPhiDevice) -> None:
+        """Export the card's attributes under /sys/class/mic/micN.
+
+        Values are published as live callables so ``state`` tracks boots.
+        """
+        base = f"sys/class/mic/{device.name}"
+        for attr in device.sysfs_attrs():
+            self.sysfs.publish(
+                f"{base}/{attr}",
+                (lambda d=device, a=attr: d.sysfs_attrs()[a]),
+            )

@@ -1,0 +1,153 @@
+"""``/dev/mic/scif``: the character device the host SCIF driver exposes.
+
+A process ``open()``\\ s the device to get an endpoint-backed fd, then
+drives it with ``ioctl()`` commands; ``mmap()`` and ``poll()`` on the fd
+map to ``scif_mmap``/``scif_poll``.  vPHI's QEMU backend is a regular
+user of this device — that is the whole trick: "multiple VMs issuing SCIF
+requests are essentially multiple host processes that execute system
+calls to [the] SCIF driver in parallel" (§III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..oscore import OSProcess
+from ..scif import (
+    EBADF,
+    EINVAL,
+    Endpoint,
+    MapFlag,
+    NativeScif,
+    PollEvent,
+    Prot,
+    RecvFlag,
+    RmaFlag,
+    ScifFabric,
+    ScifNode,
+    SendFlag,
+)
+from .ioctl import IoctlRequest, ScifIoctl
+
+__all__ = ["ScifFile", "ScifCharDevice"]
+
+
+class ScifFile:
+    """One open fd on /dev/mic/scif: wraps an endpoint + the caller's libscif."""
+
+    def __init__(self, device: "ScifCharDevice", process: OSProcess):
+        self.device = device
+        self.process = process
+        self.lib = NativeScif(device.fabric, device.node, process)
+        self.endpoint: Optional[Endpoint] = None
+        self.closed = False
+
+    # -- file ops ------------------------------------------------------
+    def open_endpoint(self):
+        """Performed at open(): allocate the backing endpoint."""
+        self.endpoint = yield from self.lib.open()
+        return self
+
+    def _ep(self) -> Endpoint:
+        if self.closed or self.endpoint is None:
+            raise EBADF("operation on closed scif fd")
+        return self.endpoint
+
+    def ioctl(self, req: IoctlRequest):
+        """Process: dispatch one ioctl command.  Returns the op's result."""
+        ep = self._ep()
+        cmd = req.cmd
+        if cmd == ScifIoctl.BIND:
+            return (yield from self.lib.bind(ep, req.port))
+        if cmd == ScifIoctl.LISTEN:
+            return (yield from self.lib.listen(ep, req.backlog))
+        if cmd == ScifIoctl.CONNECT:
+            if req.addr is None:
+                raise EINVAL("CONNECT needs addr")
+            return (yield from self.lib.connect(ep, req.addr))
+        if cmd == ScifIoctl.ACCEPTREQ:
+            new_ep, peer = yield from self.lib.accept(ep, block=req.block)
+            # the driver returns a fresh fd whose endpoint is the accepted one
+            newfile = ScifFile(self.device, self.process)
+            newfile.endpoint = new_ep
+            fd = self.process.install_fd(newfile)
+            return fd, peer
+        if cmd == ScifIoctl.SEND:
+            return (yield from self.lib.send(ep, req.payload, SendFlag(req.flags or 1)))
+        if cmd == ScifIoctl.RECV:
+            return (yield from self.lib.recv(ep, req.nbytes, RecvFlag(req.flags or 1)))
+        if cmd == ScifIoctl.REG:
+            return (
+                yield from self.lib.register(
+                    ep, req.vaddr, req.nbytes, offset=req.offset,
+                    prot=Prot(req.prot or 3), flags=MapFlag(req.flags),
+                )
+            )
+        if cmd == ScifIoctl.UNREG:
+            return (yield from self.lib.unregister(ep, req.offset))
+        if cmd == ScifIoctl.READFROM:
+            return (
+                yield from self.lib.readfrom(
+                    ep, req.loffset, req.nbytes, req.roffset, RmaFlag(req.flags)
+                )
+            )
+        if cmd == ScifIoctl.WRITETO:
+            return (
+                yield from self.lib.writeto(
+                    ep, req.loffset, req.nbytes, req.roffset, RmaFlag(req.flags)
+                )
+            )
+        if cmd == ScifIoctl.VREADFROM:
+            return (
+                yield from self.lib.vreadfrom(
+                    ep, req.vaddr, req.nbytes, req.roffset, RmaFlag(req.flags)
+                )
+            )
+        if cmd == ScifIoctl.VWRITETO:
+            return (
+                yield from self.lib.vwriteto(
+                    ep, req.vaddr, req.nbytes, req.roffset, RmaFlag(req.flags)
+                )
+            )
+        if cmd == ScifIoctl.FENCE_MARK:
+            return (yield from self.lib.fence_mark(ep))
+        if cmd == ScifIoctl.FENCE_WAIT:
+            return (yield from self.lib.fence_wait(ep, req.mark))
+        if cmd == ScifIoctl.GET_NODE_IDS:
+            return (yield from self.lib.get_node_ids())
+        raise EINVAL(f"unknown scif ioctl {cmd!r}")
+
+    def mmap(self, roffset: int, nbytes: int, prot: Prot = Prot.SCIF_PROT_READ | Prot.SCIF_PROT_WRITE):
+        """Process: fd mmap -> scif_mmap on the backing endpoint."""
+        return (yield from self.lib.mmap(self._ep(), roffset, nbytes, prot))
+
+    def poll(self, mask: PollEvent, timeout: Optional[float] = None):
+        """Process: fd poll -> scif_poll on the backing endpoint."""
+        revents = yield from self.lib.poll([(self._ep(), mask)], timeout=timeout)
+        return revents[0]
+
+    def close(self):
+        """Process: release the endpoint."""
+        if not self.closed and self.endpoint is not None:
+            yield from self.lib.close(self.endpoint)
+        self.closed = True
+        return 0
+
+
+class ScifCharDevice:
+    """The device node itself; ``open()`` hands out :class:`ScifFile` fds."""
+
+    path = "/dev/mic/scif"
+
+    def __init__(self, fabric: ScifFabric, node: ScifNode):
+        self.fabric = fabric
+        self.node = node
+        self.opens = 0
+
+    def open(self, process: OSProcess):
+        """Process: open the device for ``process``; returns (fd, ScifFile)."""
+        f = ScifFile(self, process)
+        yield from f.open_endpoint()
+        fd = process.install_fd(f)
+        self.opens += 1
+        return fd, f

@@ -1,0 +1,7 @@
+"""QEMU-KVM model: VMs, memory slots, the event loop, the EPT fault hook."""
+
+from .fault import KvmMmu, PfnPhiInfo
+from .qemu import QemuProcess
+from .vm import GuestKernel, VirtualMachine
+
+__all__ = ["GuestKernel", "KvmMmu", "PfnPhiInfo", "QemuProcess", "VirtualMachine"]

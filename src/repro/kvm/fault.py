@@ -1,0 +1,85 @@
+"""The KVM EPT fault path — including the paper's <10-LOC modification.
+
+§III (*Guest memory registration and MMIO*): after a guest ``scif_mmap``,
+a guest-side load/store faults into the KVM module on the host.  Stock
+KVM would interpret the faulting frame as ordinary guest RAM and resolve
+to "an invalid memory area".  vPHI therefore tags the VMAs it creates
+with ``VM_PFNPHI`` and stores the physical frame of the Xeon Phi region;
+the modified fault handler spots the tag and installs a mapping to device
+memory instead.
+
+``KvmMmu(modified=False)`` reproduces the *unmodified* behaviour so the
+failure mode the paper describes is testable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..mem import (
+    AddressSpace,
+    BadAddress,
+    PAGE_SIZE,
+    PageFault,
+    SGEntry,
+    VMA,
+    VMAFlag,
+    page_align_down,
+)
+
+__all__ = ["KvmMmu", "PfnPhiInfo"]
+
+
+class PfnPhiInfo:
+    """The driver-private record stashed on a VM_PFNPHI VMA: where in Xeon
+    Phi memory each page of the mapping lives (the 'stored frame number')."""
+
+    __slots__ = ("runs",)
+
+    def __init__(self, runs: Sequence[SGEntry]):
+        self.runs = list(runs)
+
+    def locate(self, rel: int) -> tuple:
+        """(memory, paddr) for byte offset ``rel`` into the mapping."""
+        pos = 0
+        for run in self.runs:
+            if pos <= rel < pos + run.nbytes:
+                return run.mem, run.paddr + (rel - pos)
+            pos += run.nbytes
+        raise BadAddress(f"PFNPHI offset {rel:#x} beyond mapped window")
+
+
+class KvmMmu:
+    """The host-side second-level fault handler for one VM."""
+
+    def __init__(self, vm_name: str, modified: bool = True):
+        self.vm_name = vm_name
+        #: whether the paper's <10-LOC patch is applied.
+        self.modified = modified
+        self.pfnphi_faults = 0
+        self.regular_faults = 0
+
+    def handle_fault(self, space: AddressSpace, vma: VMA, page_vaddr: int):
+        """Resolve one guest fault.  Installed as the VMA fault handler for
+        vPHI device mappings; returns ``(memory, paddr)`` for the page."""
+        if vma.flags & VMAFlag.PFNPHI:
+            if not self.modified:
+                # Stock KVM: the address is interpreted against host memory
+                # and lands nowhere valid.
+                raise PageFault(
+                    page_vaddr,
+                    f"kvm[{self.vm_name}]: EPT fault on PFNPHI vma "
+                    f"{vma.name!r} but the host kvm module is unmodified "
+                    "(the paper's <10-LOC patch is required)",
+                )
+            info = vma.private
+            if not isinstance(info, PfnPhiInfo):
+                raise PageFault(page_vaddr, "PFNPHI vma without stored frame info")
+            self.pfnphi_faults += 1
+            rel = page_align_down(page_vaddr) - vma.start
+            mem, paddr = info.locate(rel)
+            if paddr % PAGE_SIZE:
+                raise PageFault(page_vaddr, "PFNPHI mapping not page aligned")
+            return mem, paddr
+        self.regular_faults += 1
+        raise PageFault(page_vaddr, f"kvm[{self.vm_name}]: unhandled EPT fault")

@@ -1,0 +1,94 @@
+"""The QEMU process model: event-driven core + worker threads.
+
+§III (*Blocking vs non-blocking mode*): "QEMU handles events as they are
+produced and during that time the whole VM is in blocking mode.  Any
+previously running entity inside the guest pauses. ... In a few cases ...
+QEMU ... spawns a worker thread that executes the long-running handling
+of the event, and falls back to the event-driven mode unfreezing the VM."
+
+Here: a blocking event pauses the VM's execution :class:`~repro.sim.Domain`
+for the handler's full duration; a non-blocking event charges the worker
+spawn/teardown costs but leaves the guest running.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..analysis.calibration import VPHI_COSTS, VPhiCosts
+from ..oscore import OSProcess
+from ..sim import Channel, ChannelClosed, Domain, Simulator
+
+__all__ = ["QemuProcess"]
+
+
+class QemuProcess:
+    """One VM's QEMU: a host process running an event loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_process: OSProcess,
+        guest_domain: Domain,
+        costs: VPhiCosts = VPHI_COSTS,
+    ):
+        self.sim = sim
+        self.host_process = host_process
+        self.guest_domain = guest_domain
+        self.costs = costs
+        self._events: Channel = Channel(sim, name=f"{host_process.name}-events")
+        self._loop = sim.spawn(self._event_loop(), name=f"{host_process.name}-loop")
+        #: metrics
+        self.blocking_events = 0
+        self.worker_events = 0
+        self.workers_live = 0
+        self.workers_peak = 0
+
+    # ------------------------------------------------------------------
+    def post_event(self, handler: Callable[[], Generator], blocking: bool = True) -> None:
+        """Queue an event for the loop.  ``handler`` is a generator factory
+        executed either inline (blocking: VM frozen) or on a worker."""
+        self._events.try_put((handler, blocking))
+
+    def shutdown(self) -> None:
+        self._events.close()
+
+    # ------------------------------------------------------------------
+    def _event_loop(self):
+        while True:
+            try:
+                handler, blocking = yield self._events.get()
+            except ChannelClosed:
+                return
+            if blocking:
+                # Event-driven mode: the guest freezes for the handler's
+                # entire duration.
+                self.blocking_events += 1
+                self.guest_domain.pause()
+                try:
+                    yield from handler()
+                finally:
+                    self.guest_domain.resume()
+            else:
+                # Threading mode: pay thread creation, run concurrently,
+                # pay teardown; the loop (and the guest) keep going.
+                self.worker_events += 1
+                yield self.sim.timeout(self.costs.worker_spawn)
+                self.workers_live += 1
+                self.workers_peak = max(self.workers_peak, self.workers_live)
+                self.sim.spawn(
+                    self._worker(handler), name=f"{self.host_process.name}-worker"
+                )
+
+    def _worker(self, handler: Callable[[], Generator]):
+        try:
+            yield from handler()
+        finally:
+            self.workers_live -= 1
+        yield self.sim.timeout(self.costs.worker_teardown)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<QemuProcess {self.host_process.name!r} blocking={self.blocking_events} "
+            f"workers={self.worker_events}>"
+        )

@@ -1,0 +1,84 @@
+"""User-level data buffers for workloads and tests.
+
+A :class:`Buffer` is a thin, numpy-backed byte container with deterministic
+pattern fills and cheap integrity checks — the payloads the microbenchmarks
+push through the stack to prove byte-exactness end to end.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["Buffer"]
+
+BytesLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+class Buffer:
+    """A mutable byte buffer with zero-copy views."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: BytesLike):
+        if isinstance(data, np.ndarray):
+            if data.dtype != np.uint8:
+                raise TypeError(f"Buffer requires uint8 array, got {data.dtype}")
+            self.data = data
+        else:
+            self.data = np.frombuffer(bytes(data), dtype=np.uint8).copy()
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def zeros(cls, nbytes: int) -> "Buffer":
+        return cls(np.zeros(nbytes, dtype=np.uint8))
+
+    @classmethod
+    def pattern(cls, nbytes: int, seed: int = 0) -> "Buffer":
+        """Deterministic pseudo-random contents (seeded, reproducible)."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.integers(0, 256, size=nbytes, dtype=np.uint8))
+
+    @classmethod
+    def sequential(cls, nbytes: int, start: int = 0) -> "Buffer":
+        """Byte ``i`` holds ``(start + i) & 0xFF`` — offsets show in dumps."""
+        return cls(((np.arange(nbytes, dtype=np.int64) + start) & 0xFF).astype(np.uint8))
+
+    # -- views and content ----------------------------------------------------
+    def view(self, offset: int = 0, nbytes: int | None = None) -> "Buffer":
+        """Zero-copy sub-buffer (mutations are visible both ways)."""
+        nbytes = len(self.data) - offset if nbytes is None else nbytes
+        if offset < 0 or nbytes < 0 or offset + nbytes > len(self.data):
+            raise IndexError(
+                f"view [{offset}, {offset + nbytes}) outside buffer of {len(self.data)}"
+            )
+        return Buffer(self.data[offset : offset + nbytes])
+
+    def tobytes(self) -> bytes:
+        return self.data.tobytes()
+
+    def checksum(self) -> int:
+        """CRC32 of the contents (cheap integrity check for large payloads)."""
+        return zlib.crc32(self.data.tobytes())
+
+    def fill(self, byte: int) -> None:
+        self.data[:] = byte
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Buffer):
+            return np.array_equal(self.data, other.data)
+        if isinstance(other, (bytes, bytearray)):
+            return self.tobytes() == bytes(other)
+        return NotImplemented
+
+    def __hash__(self):  # Buffers are mutable
+        raise TypeError("Buffer is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = self.data[:8].tobytes().hex()
+        return f"<Buffer {len(self.data)}B {head}{'...' if len(self.data) > 8 else ''}>"

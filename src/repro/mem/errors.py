@@ -1,0 +1,40 @@
+"""Memory-subsystem error types (kernel-flavoured)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MemError",
+    "OutOfMemory",
+    "BadAddress",
+    "PageFault",
+    "PinViolation",
+    "AllocTooLarge",
+]
+
+
+class MemError(Exception):
+    """Base class for memory-model errors."""
+
+
+class OutOfMemory(MemError):
+    """Allocation could not be satisfied (ENOMEM)."""
+
+
+class BadAddress(MemError):
+    """Access outside any allocated extent / mapped VMA (EFAULT)."""
+
+
+class PageFault(MemError):
+    """Access to a non-present page with no fault handler able to resolve it."""
+
+    def __init__(self, vaddr: int, message: str = ""):
+        super().__init__(message or f"unresolvable page fault at {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class PinViolation(MemError):
+    """Pin/unpin misuse (double unpin, swap of a pinned page, ...)."""
+
+
+class AllocTooLarge(MemError):
+    """kmalloc request above KMALLOC_MAX_SIZE (the limit §III works around)."""

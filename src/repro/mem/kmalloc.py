@@ -1,0 +1,64 @@
+"""Kernel allocator model with the ``KMALLOC_MAX_SIZE`` ceiling.
+
+§III (*Implementation details*): the vPHI frontend copies user data into
+guest **physically contiguous** pages obtained with ``kmalloc()`` so they
+can ride the virtio ring, and Linux caps a single physically contiguous
+allocation at ``KMALLOC_MAX_SIZE`` (4 MB on x86_64).  Transfers larger than
+that are broken into 4 MB elements — the chunking implemented in
+:mod:`repro.vphi.chunking`.
+"""
+
+from __future__ import annotations
+
+from .errors import AllocTooLarge
+from .physical import PhysExtent, PhysicalMemory
+
+__all__ = ["KMALLOC_MAX_SIZE", "KernelAllocator"]
+
+#: Maximum physically contiguous kmalloc on x86_64 (MAX_ORDER 11 * 4 KiB * ...).
+KMALLOC_MAX_SIZE = 4 * 1024 * 1024
+
+
+class KernelAllocator:
+    """kmalloc/kfree facade over a :class:`PhysicalMemory`."""
+
+    def __init__(self, phys: PhysicalMemory, max_alloc: int = KMALLOC_MAX_SIZE):
+        self.phys = phys
+        self.max_alloc = max_alloc
+        #: live allocation count (leak detection in tests).
+        self.live = 0
+        self.total_allocs = 0
+
+    def kmalloc(self, nbytes: int, label: str = "kmalloc") -> PhysExtent:
+        """Allocate physically contiguous kernel memory.
+
+        Raises :class:`AllocTooLarge` above ``max_alloc`` — callers must
+        chunk, exactly as the paper's frontend does.
+        """
+        if nbytes > self.max_alloc:
+            raise AllocTooLarge(
+                f"kmalloc({nbytes}) exceeds KMALLOC_MAX_SIZE={self.max_alloc}"
+            )
+        ext = self.phys.alloc(nbytes, label=label)
+        self.live += 1
+        self.total_allocs += 1
+        return ext
+
+    def kfree(self, ext: PhysExtent) -> None:
+        ext.free()
+        self.live -= 1
+
+    def kmalloc_chunked(self, nbytes: int, label: str = "kmalloc") -> list[PhysExtent]:
+        """Allocate ``nbytes`` as a list of <= max_alloc contiguous extents."""
+        out: list[PhysExtent] = []
+        off = 0
+        try:
+            while off < nbytes:
+                n = min(self.max_alloc, nbytes - off)
+                out.append(self.kmalloc(n, label=label))
+                off += n
+        except Exception:
+            for ext in out:
+                self.kfree(ext)
+            raise
+        return out

@@ -1,0 +1,47 @@
+"""Page-size constants and page arithmetic helpers."""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PAGE_MASK",
+    "page_align_down",
+    "page_align_up",
+    "page_offset",
+    "pages_spanned",
+    "is_page_aligned",
+]
+
+#: x86-64 base page size, shared by host, guest and the card's uOS.
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+def page_align_down(addr: int) -> int:
+    """Round ``addr`` down to a page boundary."""
+    return addr & ~PAGE_MASK
+
+
+def page_align_up(addr: int) -> int:
+    """Round ``addr`` up to a page boundary."""
+    return (addr + PAGE_MASK) & ~PAGE_MASK
+
+
+def page_offset(addr: int) -> int:
+    """Offset of ``addr`` within its page."""
+    return addr & PAGE_MASK
+
+
+def pages_spanned(addr: int, nbytes: int) -> int:
+    """Number of pages touched by the byte range ``[addr, addr+nbytes)``."""
+    if nbytes <= 0:
+        return 0
+    first = page_align_down(addr)
+    last = page_align_down(addr + nbytes - 1)
+    return ((last - first) >> PAGE_SHIFT) + 1
+
+
+def is_page_aligned(addr: int) -> bool:
+    return (addr & PAGE_MASK) == 0

@@ -1,0 +1,287 @@
+"""Physical memory model: sparse, chunk-backed, byte-addressable.
+
+Each simulated RAM (host DDR3, guest RAM, Xeon Phi GDDR5) is a
+:class:`PhysicalMemory`.  Storage is materialized lazily in fixed-size
+chunks of one numpy array each, so a simulated 64 GB host costs nothing
+until written, while bulk copies still run at numpy speed (the guides'
+"views, not copies" rule: all internal transfers slice chunk arrays
+directly).
+
+A :class:`PhysicalMemory` can be *nested*: a VM's RAM is carved out of an
+extent of host RAM, so guest-physical address ``g`` **is** host-physical
+``base + g`` and the QEMU backend's zero-copy access to guest buffers falls
+out of the representation instead of being faked.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .errors import BadAddress, MemError, OutOfMemory
+from .pages import PAGE_SIZE, page_align_up
+
+__all__ = ["PhysicalMemory", "PhysExtent", "CHUNK_SIZE", "POISON_BYTE"]
+
+#: Materialization granularity of backing storage.
+CHUNK_SIZE = 1 << 20  # 1 MiB
+
+#: Pattern written into freshly *reused* frames so stale reads are detectable
+#: (the paper's pinning discussion: an RMA against a swapped-out page reads
+#: whatever now occupies the frame).
+POISON_BYTE = 0xDD
+
+
+class PhysExtent:
+    """A contiguous physical byte range owned by an allocation."""
+
+    __slots__ = ("mem", "addr", "nbytes", "_freed", "label")
+
+    def __init__(self, mem: "PhysicalMemory", addr: int, nbytes: int, label: str = ""):
+        self.mem = mem
+        self.addr = addr
+        self.nbytes = nbytes
+        self.label = label
+        self._freed = False
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.nbytes
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def _check(self, off: int, n: int) -> None:
+        if self._freed:
+            raise BadAddress(f"use-after-free of extent {self.label!r}@{self.addr:#x}")
+        if off < 0 or n < 0 or off + n > self.nbytes:
+            raise BadAddress(
+                f"extent {self.label!r} access [{off}, {off + n}) outside size {self.nbytes}"
+            )
+
+    def read(self, off: int = 0, nbytes: Optional[int] = None) -> np.ndarray:
+        nbytes = self.nbytes - off if nbytes is None else nbytes
+        self._check(off, nbytes)
+        return self.mem.read(self.addr + off, nbytes)
+
+    def write(self, data: np.ndarray | bytes, off: int = 0) -> None:
+        data = np.asarray(bytearray(data), dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
+        self._check(off, len(data))
+        self.mem.write(self.addr + off, data)
+
+    def fill(self, byte: int, off: int = 0, nbytes: Optional[int] = None) -> None:
+        nbytes = self.nbytes - off if nbytes is None else nbytes
+        self._check(off, nbytes)
+        self.mem.fill(self.addr + off, nbytes, byte)
+
+    def free(self) -> None:
+        self.mem.free(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PhysExtent {self.label!r} [{self.addr:#x}, {self.end:#x}) in {self.mem.name!r}>"
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory with a first-fit range allocator."""
+
+    def __init__(
+        self,
+        size: int,
+        name: str = "",
+        parent: Optional[PhysExtent] = None,
+    ):
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        if parent is not None and parent.nbytes < size:
+            raise ValueError("parent extent smaller than requested memory size")
+        self.size = size
+        self.name = name
+        self.parent = parent
+        # Free list: sorted list of [start, end) holes.
+        self._holes: list[tuple[int, int]] = [(0, size)]
+        self._extents: dict[int, PhysExtent] = {}
+        self._chunks: dict[int, np.ndarray] = {}
+        #: bytes currently allocated (accounting).
+        self.bytes_allocated = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = PAGE_SIZE, label: str = "") -> PhysExtent:
+        """Allocate a physically contiguous, ``align``-aligned extent."""
+        if nbytes <= 0:
+            raise MemError("allocation size must be positive")
+        if align <= 0 or (align & (align - 1)):
+            raise MemError(f"alignment must be a power of two, got {align}")
+        nbytes = page_align_up(nbytes)
+        for i, (start, end) in enumerate(self._holes):
+            base = (start + align - 1) & ~(align - 1)
+            if base + nbytes <= end:
+                # Split the hole around [base, base+nbytes).
+                newholes = []
+                if start < base:
+                    newholes.append((start, base))
+                if base + nbytes < end:
+                    newholes.append((base + nbytes, end))
+                self._holes[i : i + 1] = newholes
+                ext = PhysExtent(self, base, nbytes, label=label)
+                self._extents[base] = ext
+                self.bytes_allocated += nbytes
+                return ext
+        raise OutOfMemory(
+            f"{self.name or 'memory'}: cannot allocate {nbytes} bytes "
+            f"(allocated {self.bytes_allocated}/{self.size})"
+        )
+
+    def free(self, extent: PhysExtent) -> None:
+        if extent.mem is not self:
+            raise MemError("extent belongs to a different memory")
+        if extent._freed:
+            raise MemError(f"double free of extent @{extent.addr:#x}")
+        stored = self._extents.pop(extent.addr, None)
+        if stored is not extent:
+            raise MemError(f"unknown extent @{extent.addr:#x}")
+        extent._freed = True
+        self.bytes_allocated -= extent.nbytes
+        # Scribble poison over freed storage (only where chunks are already
+        # materialized — untouched chunks still read back as poison-free
+        # zeros, which is fine: they held no data to leak).  A later reuse of
+        # the range sees garbage, not the old contents, which is what makes
+        # stale reads against swapped/freed frames detectable in the pinning
+        # experiments.
+        first = extent.addr // CHUNK_SIZE
+        last = (extent.end - 1) // CHUNK_SIZE
+        for ci in range(first, last + 1):
+            if ci in self._chunks:
+                lo = max(extent.addr - ci * CHUNK_SIZE, 0)
+                hi = min(extent.end - ci * CHUNK_SIZE, CHUNK_SIZE)
+                self._chunks[ci][lo:hi] = POISON_BYTE
+        self._insert_hole(extent.addr, extent.end)
+
+    def _insert_hole(self, start: int, end: int) -> None:
+        starts = [h[0] for h in self._holes]
+        i = bisect.bisect_left(starts, start)
+        self._holes.insert(i, (start, end))
+        # Coalesce with neighbours.
+        merged: list[tuple[int, int]] = []
+        for s, e in self._holes:
+            if merged and s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+            else:
+                merged.append((s, e))
+        self._holes = merged
+
+    @property
+    def bytes_free(self) -> int:
+        return sum(e - s for s, e in self._holes)
+
+    def largest_free_block(self) -> int:
+        return max((e - s for s, e in self._holes), default=0)
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def _bounds(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise BadAddress(
+                f"{self.name or 'memory'}: access [{addr:#x}, {addr + nbytes:#x}) "
+                f"outside size {self.size:#x}"
+            )
+
+    def _chunk(self, index: int) -> np.ndarray:
+        chunk = self._chunks.get(index)
+        if chunk is None:
+            chunk = self._chunks[index] = np.zeros(CHUNK_SIZE, dtype=np.uint8)
+        return chunk
+
+    def _spans(self, addr: int, nbytes: int) -> Iterator[tuple[np.ndarray, int, int, int]]:
+        """Yield ``(chunk, chunk_lo, chunk_hi, dest_off)`` covering the range."""
+        off = 0
+        while off < nbytes:
+            a = addr + off
+            ci, co = divmod(a, CHUNK_SIZE)
+            n = min(CHUNK_SIZE - co, nbytes - off)
+            yield self._chunk(ci), co, co + n, off
+            off += n
+
+    def read(self, addr: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` out as a fresh uint8 array."""
+        if self.parent is not None:
+            self._bounds(addr, nbytes)
+            return self.parent.read(addr, nbytes)
+        self._bounds(addr, nbytes)
+        out = np.empty(nbytes, dtype=np.uint8)
+        for chunk, lo, hi, doff in self._spans(addr, nbytes):
+            out[doff : doff + (hi - lo)] = chunk[lo:hi]
+        return out
+
+    def write(self, addr: int, data: np.ndarray | bytes) -> None:
+        if isinstance(data, (bytes, bytearray, memoryview)):
+            data = np.frombuffer(bytes(data), dtype=np.uint8)
+        if data.dtype != np.uint8:
+            data = data.view(np.uint8) if data.flags["C_CONTIGUOUS"] else np.ascontiguousarray(data).view(np.uint8)
+        n = len(data)
+        if self.parent is not None:
+            self._bounds(addr, n)
+            self.parent.write(data, off=addr)
+            return
+        self._bounds(addr, n)
+        for chunk, lo, hi, doff in self._spans(addr, n):
+            chunk[lo:hi] = data[doff : doff + (hi - lo)]
+
+    def fill(self, addr: int, nbytes: int, byte: int) -> None:
+        if self.parent is not None:
+            self._bounds(addr, nbytes)
+            self.parent.fill(byte, off=addr, nbytes=nbytes)
+            return
+        self._bounds(addr, nbytes)
+        for chunk, lo, hi, _ in self._spans(addr, nbytes):
+            chunk[lo:hi] = byte
+
+    def copy_within(self, dst: int, src: int, nbytes: int) -> None:
+        """memmove-style copy inside this memory."""
+        self.write(dst, self.read(src, nbytes))
+
+    @staticmethod
+    def copy(
+        dst_mem: "PhysicalMemory",
+        dst: int,
+        src_mem: "PhysicalMemory",
+        src: int,
+        nbytes: int,
+    ) -> None:
+        """Copy between two physical memories (the DMA engine's data move)."""
+        dst_mem.write(dst, src_mem.read(src, nbytes))
+
+    def carve(self, nbytes: int, name: str = "", label: str = "") -> "PhysicalMemory":
+        """Allocate an extent and wrap it as a nested PhysicalMemory.
+
+        This is how a VM's RAM is created out of host RAM.
+        """
+        ext = self.alloc(nbytes, label=label or name)
+        return PhysicalMemory(nbytes, name=name, parent=ext)
+
+    @property
+    def host_base(self) -> int:
+        """For nested memories: offset of address 0 in the root memory."""
+        base = 0
+        mem: Optional[PhysicalMemory] = self
+        while mem is not None and mem.parent is not None:
+            base += mem.parent.addr
+            mem = mem.parent.mem
+        return base
+
+    def root(self) -> "PhysicalMemory":
+        mem = self
+        while mem.parent is not None:
+            mem = mem.parent.mem
+        return mem
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PhysicalMemory {self.name!r} size={self.size:#x} "
+            f"alloc={self.bytes_allocated:#x} nested={self.parent is not None}>"
+        )

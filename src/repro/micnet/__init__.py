@@ -1,0 +1,17 @@
+"""The emulated mic0 network over SCIF: sockets, sshd, the ssh launch path."""
+
+from .launcher import ssh_native_launch
+from .sshd import SSH_PORT, SshDaemon, SshSession, ssh_connect
+from .stack import MicNetwork, NetBridge, NetSocket, TCP_PORT_BASE
+
+__all__ = [
+    "MicNetwork",
+    "NetBridge",
+    "NetSocket",
+    "SSH_PORT",
+    "SshDaemon",
+    "SshSession",
+    "TCP_PORT_BASE",
+    "ssh_connect",
+    "ssh_native_launch",
+]

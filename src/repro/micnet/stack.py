@@ -1,0 +1,189 @@
+"""The emulated mic0 network: TCP-ish sockets tunnelled over SCIF.
+
+§II-B: "Xeon Phi software stack includes an emulated network driver as
+part of the uOS, that uses SCIF, and enables users to utilize network
+tools (e.g. ssh) and remotely connect to the Xeon Phi device."
+
+Model: each card exposes a ``mic0`` interface; the host gets the MPSS
+default addressing (host ``172.31.<i>.254``, card ``172.31.<i>.1``).
+A TCP connection is tunnelled as its own SCIF connection with the
+netstack's extra costs charged per MTU-sized frame — which is why this
+path is an order of magnitude slower than raw SCIF (and why the ssh
+launch path loses to micnativeloadex in ablation A5).
+
+Guests have **no** mic0 unless the operator builds the §IV-A bridge:
+:class:`NetBridge` grafts a VM onto the host-side network — bypassing
+vPHI entirely and, as the paper warns, ruining tenant isolation (see
+:mod:`repro.micnet.sshd`'s session table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..scif import ECONNREFUSED, EINVAL, NativeScif, ScifError
+from ..sim import us
+
+__all__ = ["MicNetwork", "NetSocket", "NetBridge", "TCP_PORT_BASE"]
+
+#: TCP ports are NAT'ed onto SCIF ports above this base.
+TCP_PORT_BASE = 10_000
+
+#: mic0 jumbo MTU (MPSS default).
+MTU = 64 * 1024
+
+#: per-frame netstack cost (skb handling, emulated-NIC interrupt, TCP).
+FRAME_COST = us(150)
+
+#: connection establishment extra (TCP handshake over the tunnel).
+HANDSHAKE_COST = us(400)
+
+
+class MicNetwork:
+    """IP addressing + routing for one machine's mic interfaces."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._ip_to_node: dict[str, int] = {}
+        self._node_to_ip: dict[int, str] = {}
+        # host gets one address per card subnet; cards get .1
+        self.register("172.31.0.254", 0)
+        for i, dev in enumerate(machine.devices):
+            if dev.node_id is None:
+                raise ScifError(f"{dev.name} not attached; boot the machine first")
+            self.register(f"172.31.{i}.1", dev.node_id)
+
+    def register(self, ip: str, node_id: int) -> None:
+        self._ip_to_node[ip] = node_id
+        self._node_to_ip.setdefault(node_id, ip)
+
+    def resolve(self, ip: str) -> int:
+        try:
+            return self._ip_to_node[ip]
+        except KeyError:
+            raise ECONNREFUSED(f"no route to host {ip}") from None
+
+    def address_of(self, node_id: int) -> Optional[str]:
+        return self._node_to_ip.get(node_id)
+
+    def card_ip(self, card: int = 0) -> str:
+        return f"172.31.{card}.1"
+
+    def host_ip(self) -> str:
+        return "172.31.0.254"
+
+
+class NetSocket:
+    """A stream socket riding the mic0 tunnel.
+
+    Mirrors the SCIF endpoint API shape (connect/listen/accept/send/
+    recv) but charges the netstack costs and segments payloads at the
+    MTU — real bytes still cross the fabric underneath.
+    """
+
+    def __init__(self, network: MicNetwork, lib: NativeScif, extra_latency: float = 0.0):
+        self.network = network
+        self.lib = lib
+        self.sim = lib.sim
+        self.ep = None
+        #: extra one-way latency (a VM bridge hop, for bridged sockets).
+        self.extra_latency = extra_latency
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_ep(self):
+        if self.ep is None:
+            self.ep = yield from self.lib.open()
+        return self.ep
+
+    def bind_listen(self, port: int, backlog: int = 16):
+        """Server side: bind a TCP port and listen."""
+        if not 0 < port < 65536:
+            raise EINVAL(f"bad TCP port {port}")
+        yield from self._ensure_ep()
+        yield from self.lib.bind(self.ep, TCP_PORT_BASE + port)
+        yield from self.lib.listen(self.ep, backlog)
+        return self
+
+    def accept(self):
+        """Server side: accept one connection; returns a connected socket."""
+        conn_ep, peer = yield from self.lib.accept(self.ep)
+        sock = NetSocket(self.network, self.lib, extra_latency=self.extra_latency)
+        sock.ep = conn_ep
+        peer_ip = self.network.address_of(peer[0])
+        return sock, (peer_ip, peer[1])
+
+    def connect(self, ip: str, port: int):
+        """Client side: TCP connect (handshake charged)."""
+        node = self.network.resolve(ip)
+        yield from self._ensure_ep()
+        yield self.sim.timeout(HANDSHAKE_COST + self.extra_latency)
+        yield from self.lib.connect(self.ep, (node, TCP_PORT_BASE + port))
+        return self
+
+    def send(self, data):
+        """Stream send, segmented at the MTU, netstack cost per frame."""
+        if isinstance(data, (bytes, bytearray)):
+            data = np.frombuffer(bytes(data), dtype=np.uint8)
+        off = 0
+        while off < len(data):
+            frame = data[off : off + MTU]
+            yield self.sim.timeout(FRAME_COST + self.extra_latency)
+            yield from self.lib.send(self.ep, frame)
+            off += len(frame)
+        self.bytes_sent += len(data)
+        return len(data)
+
+    def recv(self, nbytes: int):
+        """Stream recv of exactly ``nbytes`` (per-frame cost charged as
+        the receive-side netstack work)."""
+        out = np.empty(nbytes, dtype=np.uint8)
+        off = 0
+        while off < nbytes:
+            take = min(MTU, nbytes - off)
+            chunk = yield from self.lib.recv(self.ep, take)
+            yield self.sim.timeout(FRAME_COST + self.extra_latency)
+            out[off : off + len(chunk)] = chunk
+            off += len(chunk)
+        self.bytes_received += nbytes
+        return out
+
+    def close(self):
+        if self.ep is not None:
+            yield from self.lib.close(self.ep)
+            self.ep = None
+
+
+class NetBridge:
+    """The §IV-A host bridge: graft a VM onto the mic0 network.
+
+    "this can become possible by configuring a network bridge on the
+    host between the emulated mic0 network interface and the interface
+    that is attached to the VM.  However, this configuration is not
+    well-suited for cloud environments."
+
+    A bridged guest socket runs over the *host's* SCIF context (it
+    bypasses vPHI) with the bridge hop added to every frame.
+    """
+
+    BRIDGE_HOP = us(25)
+
+    def __init__(self, machine, vm, network: MicNetwork):
+        self.machine = machine
+        self.vm = vm
+        self.network = network
+        # the bridge endpoint lives in the VM's QEMU process on the host
+        self._lib = NativeScif(
+            machine.fabric, machine.kernel.scif_node, vm.qemu_process,
+            host_params=machine.host_params,
+        )
+        # the VM becomes reachable: give it an address on the host subnet
+        self.vm_ip = f"172.31.0.{100 + sum(1 for _ in vm.name)}"
+        network.register(self.vm_ip, 0)
+
+    def socket(self) -> NetSocket:
+        """A guest-usable socket (runs on the host side of the bridge)."""
+        return NetSocket(self.network, self._lib, extra_latency=self.BRIDGE_HOP)

@@ -1,0 +1,18 @@
+"""Symmetric-mode substrate: a mini-MPI over SCIF (ranks on host, card, VMs)."""
+
+from .comm import MPIError, RankEndpoint, TAG_ANY
+from .collectives import MAX, MIN, PROD, Rank, SUM
+from .launcher import MPI_BASE_PORT, mpirun
+
+__all__ = [
+    "MAX",
+    "MIN",
+    "MPIError",
+    "MPI_BASE_PORT",
+    "PROD",
+    "Rank",
+    "RankEndpoint",
+    "SUM",
+    "TAG_ANY",
+    "mpirun",
+]

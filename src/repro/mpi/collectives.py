@@ -1,0 +1,187 @@
+"""MPI rank object: point-to-point + collectives.
+
+Standard algorithms on top of the per-pair streams: dissemination
+barrier, binomial-tree broadcast, binary-tree reduce, ring allgather.
+Operations are generator processes, consistent with the whole stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .comm import MPIError, RankEndpoint, TAG_ANY
+
+__all__ = ["Rank", "SUM", "MAX", "MIN", "PROD"]
+
+# reduction ops work on numbers and numpy arrays alike
+SUM = lambda a, b: a + b
+MAX = lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+MIN = lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+PROD = lambda a, b: a * b
+
+# internal tag spaces so user traffic and collectives never collide
+_TAG_BARRIER = 1 << 40
+_TAG_BCAST = 2 << 40
+_TAG_REDUCE = 3 << 40
+_TAG_GATHER = 4 << 40
+_TAG_SCATTER = 5 << 40
+_TAG_ALLGATHER = 6 << 40
+
+
+class Rank:
+    """One MPI process: its rank id and channels to every peer."""
+
+    def __init__(self, rank: int, size: int, name: str = ""):
+        self.rank = rank
+        self.size = size
+        self.name = name or f"rank{rank}"
+        self.peers: dict[int, RankEndpoint] = {}
+        self._collective_seq = 0
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def _peer(self, other: int) -> RankEndpoint:
+        if other == self.rank:
+            raise MPIError(f"rank {self.rank} cannot message itself")
+        try:
+            return self.peers[other]
+        except KeyError:
+            raise MPIError(f"rank {self.rank} has no channel to {other}") from None
+
+    def send(self, dest: int, obj: Any, tag: int = 0):
+        """Process: blocking tagged send."""
+        n = yield from self._peer(dest).send_msg(tag, obj)
+        return n
+
+    def recv(self, source: int, tag: int = TAG_ANY):
+        """Process: blocking tagged receive from ``source``."""
+        obj = yield from self._peer(source).recv_msg(tag)
+        return obj
+
+    def sendrecv(self, dest: int, obj: Any, source: int, tag: int = 0):
+        """Process: exchange — send to ``dest``, then receive from
+        ``source`` (sends never block indefinitely in this transport, so
+        the classic exchange deadlock cannot occur)."""
+        yield from self.send(dest, obj, tag)
+        got = yield from self.recv(source, tag)
+        return got
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._collective_seq += 1
+        return self._collective_seq
+
+    def barrier(self):
+        """Process: dissemination barrier (log2(size) rounds)."""
+        seq = self._next_seq()
+        k = 1
+        round_no = 0
+        while k < self.size:
+            dest = (self.rank + k) % self.size
+            src = (self.rank - k) % self.size
+            tag = _TAG_BARRIER + (seq << 8) + round_no
+            yield from self.send(dest, None, tag)
+            yield from self.recv(src, tag)
+            k <<= 1
+            round_no += 1
+        return None
+
+    def bcast(self, obj: Any, root: int = 0):
+        """Process: binomial-tree broadcast; returns the value on every rank."""
+        seq = self._next_seq()
+        tag = _TAG_BCAST + (seq << 8)
+        rel = (self.rank - root) % self.size
+        # walk up: receive from the parent (rel with its lowest set bit
+        # cleared); the mask where we stop is our subtree height
+        mask = 1
+        while mask < self.size:
+            if rel & mask:
+                parent = ((rel ^ mask) + root) % self.size
+                obj = yield from self.recv(parent, tag)
+                break
+            mask <<= 1
+        # walk down: forward to each child rel+mask for smaller masks
+        mask >>= 1
+        while mask > 0:
+            if rel + mask < self.size:
+                child = (rel + mask + root) % self.size
+                yield from self.send(child, obj, tag)
+            mask >>= 1
+        return obj
+
+    def reduce(self, value: Any, op: Callable = SUM, root: int = 0):
+        """Process: binary-tree reduce toward ``root``; result on root."""
+        seq = self._next_seq()
+        tag = _TAG_REDUCE + (seq << 8)
+        rel = (self.rank - root) % self.size
+        acc = value
+        k = 1
+        while k < self.size:
+            if rel & k:
+                parent = ((rel & ~k) + root) % self.size
+                yield from self.send(parent, acc, tag)
+                break
+            partner_rel = rel | k
+            if partner_rel < self.size:
+                partner = (partner_rel + root) % self.size
+                other = yield from self.recv(partner, tag)
+                acc = op(acc, other)
+            k <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, value: Any, op: Callable = SUM):
+        """Process: reduce + broadcast."""
+        acc = yield from self.reduce(value, op, root=0)
+        result = yield from self.bcast(acc, root=0)
+        return result
+
+    def gather(self, value: Any, root: int = 0):
+        """Process: linear gather; root gets the list indexed by rank."""
+        seq = self._next_seq()
+        tag = _TAG_GATHER + (seq << 8)
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[self.rank] = value
+            for other in range(self.size):
+                if other != root:
+                    out[other] = yield from self.recv(other, tag)
+            return out
+        yield from self.send(root, value, tag)
+        return None
+
+    def scatter(self, values: Optional[list], root: int = 0):
+        """Process: root distributes ``values[i]`` to rank i."""
+        seq = self._next_seq()
+        tag = _TAG_SCATTER + (seq << 8)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError("scatter needs one value per rank at the root")
+            for other in range(self.size):
+                if other != root:
+                    yield from self.send(other, values[other], tag)
+            return values[root]
+        got = yield from self.recv(root, tag)
+        return got
+
+    def allgather(self, value: Any):
+        """Process: ring allgather (size-1 rounds)."""
+        seq = self._next_seq()
+        tag = _TAG_ALLGATHER + (seq << 8)
+        out: list[Any] = [None] * self.size
+        out[self.rank] = value
+        right = (self.rank + 1) % self.size
+        left = (self.rank - 1) % self.size
+        carry_rank, carry = self.rank, value
+        for _ in range(self.size - 1):
+            yield from self.send(right, (carry_rank, carry), tag)
+            carry_rank, carry = yield from self.recv(left, tag)
+            out[carry_rank] = carry
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Rank {self.rank}/{self.size} {self.name!r}>"

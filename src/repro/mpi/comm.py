@@ -1,0 +1,75 @@
+"""Point-to-point MPI communication over SCIF streams.
+
+The symmetric model of execution (§II-A): "Xeon Phi can be viewed as an
+independent node and ... a user can launch some processes of the same
+parallel application on the host side and some other processes on the
+accelerator, using for example MPI."  Intel's MPI uses SCIF as its
+intra-node fabric; this module does the same — every rank pair shares a
+SCIF connection, and messages are length+tag framed records on that
+stream.  Because a rank's "libscif" can just as well be the vPHI guest
+shim, ranks placed inside VMs work unchanged — symmetric mode through
+vPHI, the paper's future work.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import Any
+
+from ..scif import Endpoint
+
+__all__ = ["MPIError", "RankEndpoint", "TAG_ANY"]
+
+#: wildcard receive tag.
+TAG_ANY = -1
+
+_HDR = 16  # 8B length + 8B tag
+
+
+class MPIError(Exception):
+    """Communicator misuse or transport failure."""
+
+
+def _frame(tag: int, payload: bytes) -> bytes:
+    return len(payload).to_bytes(8, "big") + tag.to_bytes(8, "big", signed=True) + payload
+
+
+class RankEndpoint:
+    """One rank's view of its channel to one peer rank."""
+
+    def __init__(self, lib, ep: Endpoint | object, peer_rank: int):
+        self.lib = lib
+        self.ep = ep
+        self.peer_rank = peer_rank
+        #: messages read off the stream but not yet matched by tag.
+        self.inbox: deque[tuple[int, bytes]] = deque()
+
+    # ------------------------------------------------------------------
+    def send_msg(self, tag: int, obj: Any):
+        """Process: send one tagged message (pickled, like mpi4py's
+        lowercase methods; numpy arrays pickle efficiently)."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        yield from self.lib.send(self.ep, _frame(tag, payload))
+        return len(payload)
+
+    def recv_msg(self, tag: int = TAG_ANY):
+        """Process: receive the next message matching ``tag``.
+
+        The per-pair stream is ordered; non-matching messages are parked
+        in the inbox so out-of-order tag matching works.
+        """
+        for i, (t, payload) in enumerate(self.inbox):
+            if tag == TAG_ANY or t == tag:
+                del self.inbox[i]
+                return pickle.loads(payload)
+        while True:
+            hdr = yield from self.lib.recv(self.ep, _HDR)
+            hdr_bytes = hdr.tobytes()
+            length = int.from_bytes(hdr_bytes[:8], "big")
+            t = int.from_bytes(hdr_bytes[8:16], "big", signed=True)
+            data = yield from self.lib.recv(self.ep, length)
+            payload = data.tobytes()
+            if tag == TAG_ANY or t == tag:
+                return pickle.loads(payload)
+            self.inbox.append((t, payload))

@@ -1,0 +1,108 @@
+"""mpirun: launch ranks across host, card(s) and VMs, wire the mesh.
+
+Placement mirrors an Intel-MPI machinefile for symmetric mode: some
+ranks on the host CPU, some on the coprocessor — and, through vPHI, some
+inside guests.  Every rank pair gets its own SCIF connection (rank i
+accepts from higher ranks and connects to lower ones), then the user's
+``main(rank, ctx)`` generator runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Union
+
+from ..sim import DeadlockError
+from ..workloads.microbench import ClientContext
+from .comm import MPIError, RankEndpoint
+from .collectives import Rank
+
+__all__ = ["mpirun", "MPI_BASE_PORT"]
+
+MPI_BASE_PORT = 30_000
+
+#: placement entry: "host", ("card", index) or ("vm", VirtualMachine)
+Placement = Union[str, tuple]
+
+
+def _context_for(machine, placement: Placement, rank: int) -> ClientContext:
+    if placement == "host":
+        return ClientContext.native(machine, f"mpi-rank{rank}")
+    kind, what = placement
+    if kind == "card":
+        proc = machine.card_process(f"mpi-rank{rank}", card=what)
+        return ClientContext(machine.scif(proc), proc, machine.sim.spawn,
+                             f"card{what}")
+    if kind == "vm":
+        return ClientContext.guest(what, f"mpi-rank{rank}")
+    raise MPIError(f"bad placement {placement!r}")
+
+
+def _node_of(machine, placement: Placement) -> int:
+    if placement == "host":
+        return 0
+    kind, what = placement
+    if kind == "card":
+        return machine.card_node_id(what)
+    if kind == "vm":
+        return 0  # the VM's QEMU backend binds on the host node
+    raise MPIError(f"bad placement {placement!r}")
+
+
+def mpirun(
+    machine,
+    placements: Sequence[Placement],
+    main: Callable,
+    args: tuple = (),
+    run: bool = True,
+) -> list:
+    """Launch ``main(rank, ctx, *args)`` once per placement entry.
+
+    Returns the rank sim-processes; with ``run=True`` the simulation is
+    executed and the list of per-rank return values is returned instead.
+    """
+    size = len(placements)
+    if size < 1:
+        raise MPIError("need at least one rank")
+    sim = machine.sim
+    contexts = [_context_for(machine, p, i) for i, p in enumerate(placements)]
+    nodes = [_node_of(machine, p) for p in placements]
+    listening = [sim.event(f"mpi-listen-{i}") for i in range(size)]
+
+    def rank_body(i: int):
+        ctx = contexts[i]
+        rank = Rank(i, size, name=f"rank{i}@{ctx.label}")
+        # 1. passive side: bind + listen, then announce readiness
+        lep = yield from ctx.lib.open()
+        yield from ctx.lib.bind(lep, MPI_BASE_PORT + i)
+        yield from ctx.lib.listen(lep, backlog=size)
+        listening[i].succeed()
+        # 2. wait until every rank is listening (out-of-band in the model;
+        #    a real launcher synchronizes this over its control channel)
+        yield sim.all_of([ev for ev in listening])
+        # 3. active side: connect to every lower rank, identify ourselves
+        for j in range(i):
+            ep = yield from ctx.lib.open()
+            yield from ctx.lib.connect(ep, (nodes[j], MPI_BASE_PORT + j))
+            yield from ctx.lib.send(ep, i.to_bytes(8, "big"))
+            rank.peers[j] = RankEndpoint(ctx.lib, ep, j)
+        # 4. accept from every higher rank
+        for _ in range(size - 1 - i):
+            ep, _peer = yield from ctx.lib.accept(lep)
+            ident = yield from ctx.lib.recv(ep, 8)
+            j = int.from_bytes(ident.tobytes(), "big")
+            rank.peers[j] = RankEndpoint(ctx.lib, ep, j)
+        yield from ctx.lib.close(lep)
+        # 5. run the application
+        result = yield from main(rank, ctx, *args)
+        for peer in rank.peers.values():
+            yield from ctx.lib.close(peer.ep)
+        return result
+
+    procs = [ctx.spawn(rank_body(i)) for i, ctx in enumerate(contexts)]
+    if not run:
+        return procs
+    machine.run()
+    missing = [i for i, p in enumerate(procs) if not p.triggered]
+    if missing:
+        raise DeadlockError(f"MPI ranks {missing} never finished")
+    return [p.value for p in procs]

@@ -1,0 +1,17 @@
+"""Intel MPSS tools: micnativeloadex, micinfo, the MIC binary model."""
+
+from .binaries import BINARIES, MICBinary, SharedLibrary, lookup_binary, register_binary
+from .micinfo import micinfo
+from .micnativeloadex import LaunchResult, MicToolError, micnativeloadex
+
+__all__ = [
+    "BINARIES",
+    "LaunchResult",
+    "MICBinary",
+    "MicToolError",
+    "SharedLibrary",
+    "lookup_binary",
+    "micinfo",
+    "micnativeloadex",
+    "register_binary",
+]

@@ -1,0 +1,65 @@
+"""MIC binary model: executables + shared-object dependencies.
+
+A :class:`MICBinary` stands in for a k1om ELF: it has a *size* (its bytes
+really cross the PCIe link at launch, which is what Figs 6-8 amortize)
+and an *entry point* — a generator run on the card's uOS once the loader
+has "exec'ed" it.  ``register_binary`` adds entries to the global
+registry the coi_daemon resolves names against.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["MICBinary", "SharedLibrary", "register_binary", "lookup_binary", "BINARIES"]
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class SharedLibrary:
+    """A dependency transferred alongside the executable."""
+
+    name: str
+    size: int
+
+
+@dataclass
+class MICBinary:
+    """One launchable MIC executable."""
+
+    name: str
+    size: int
+    #: ``entry(uos, proc, argv, env) -> generator returning an exit dict``
+    entry: Callable
+    deps: tuple = ()
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        """Executable + every dependency (what micnativeloadex ships)."""
+        return self.size + sum(d.size for d in self.deps)
+
+    def content(self) -> np.ndarray:
+        """Deterministic fake ELF bytes (checksummed by the loader)."""
+        rng = np.random.default_rng(zlib.crc32(self.name.encode()))
+        return rng.integers(0, 256, size=self.size, dtype=np.uint8)
+
+    def checksum(self) -> int:
+        return zlib.crc32(self.content().tobytes())
+
+
+#: global registry (name -> binary), populated by workloads at import.
+BINARIES: dict[str, MICBinary] = {}
+
+
+def register_binary(binary: MICBinary) -> MICBinary:
+    BINARIES[binary.name] = binary
+    return binary
+
+
+def lookup_binary(name: str) -> Optional[MICBinary]:
+    return BINARIES.get(name)

@@ -1,0 +1,24 @@
+"""micinfo: print card inventory from the mic sysfs tree."""
+
+from __future__ import annotations
+
+__all__ = ["micinfo"]
+
+
+def micinfo(sysfs, cards: int = 1) -> str:
+    """Render the MPSS-style card report for ``cards`` devices."""
+    lines = ["MicInfo Utility Log", "=" * 40]
+    for i in range(cards):
+        base = f"sys/class/mic/mic{i}"
+        if not sysfs.exists(f"{base}/state"):
+            continue
+        lines += [
+            f"Device No: {i}, Device Name: mic{i}",
+            f"    Family          : {sysfs.read(f'{base}/family')}",
+            f"    SKU             : {sysfs.read(f'{base}/version')}",
+            f"    State           : {sysfs.read(f'{base}/state')}",
+            f"    Total # of cores: {sysfs.read(f'{base}/cores_count')}",
+            f"    Frequency (Hz)  : {sysfs.read(f'{base}/cores_frequency')}",
+            f"    GDDR size (KiB) : {sysfs.read(f'{base}/memsize')}",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""micnativeloadex: launch a MIC executable on the card from the host/VM.
+
+§II-B/§IV-C: "We use ... micnativeloadex ... to evaluate our framework in
+native mode of execution. ... micnativeloadex's role is to properly setup
+the environment, launch the necessary libraries and executables and spawn
+the requested number of threads."  It reads the mic sysfs tree (which
+vPHI mirrors into the guest) and drives the card's coi_daemon over SCIF —
+so the identical tool code runs natively and inside a VM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..coi import COIConnection
+from .binaries import MICBinary
+
+__all__ = ["LaunchResult", "micnativeloadex"]
+
+
+class MicToolError(Exception):
+    """Tool-level failure (bad card state, missing binary, ...)."""
+
+
+@dataclass
+class LaunchResult:
+    """What the tool reports when the MIC process exits."""
+
+    exit_record: dict
+    #: end-to-end wall time: launch + transfer + execution + teardown
+    total_time: float
+    #: time spent shipping binaries over the PCIe bus
+    transfer_time: float
+    #: the card-side compute time reported by the process
+    compute_time: float
+    transferred_bytes: int
+
+    @property
+    def status(self) -> int:
+        return self.exit_record.get("status", -1)
+
+
+def micnativeloadex(
+    machine,
+    ctx,
+    binary: MICBinary,
+    argv: Sequence[str] = (),
+    env: Optional[dict] = None,
+    card: int = 0,
+    sysfs=None,
+):
+    """Process: run ``binary`` on card ``card`` and wait for it.
+
+    ``ctx`` is a :class:`~repro.workloads.microbench.ClientContext`
+    (native or guest); ``sysfs`` defaults to the tree visible to that
+    context (host sysfs natively, the vPHI-mirrored guest tree in a VM).
+    Returns a :class:`LaunchResult`.
+    """
+    sim = machine.sim
+    t_start = sim.now
+    # 1. the tool checks the card through sysfs before doing anything
+    if sysfs is None:
+        kernel = ctx.process.kernel
+        sysfs = getattr(kernel, "sysfs", machine.kernel.sysfs)
+    base = f"sys/class/mic/mic{card}"
+    state = sysfs.read(f"{base}/state")
+    if state != "online":
+        raise MicToolError(f"mic{card} is {state!r}, not online")
+    family = sysfs.read(f"{base}/family")
+    if family != "x100":
+        raise MicToolError(f"unsupported card family {family!r}")
+    # 2. connect to coi_daemon and ship executable + dependencies
+    conn = COIConnection(ctx.lib, machine.card_node_id(card))
+    yield from conn.connect()
+    t_transfer0 = sim.now
+    handle = yield from conn.process_create(binary, argv=argv, env=env)
+    transfer_time = sim.now - t_transfer0
+    # 3. wait for the process to exit and collect its record
+    exit_record = yield from handle.wait()
+    yield from conn.close()
+    return LaunchResult(
+        exit_record=exit_record,
+        total_time=sim.now - t_start,
+        transfer_time=transfer_time,
+        compute_time=exit_record.get("compute_time", 0.0),
+        transferred_bytes=binary.total_transfer_bytes,
+    )

@@ -1,0 +1,6 @@
+"""Shared OS substrate: kernels, processes, sysfs."""
+
+from .kernel import Kernel, OSProcess
+from .sysfs import Sysfs, SysfsError
+
+__all__ = ["Kernel", "OSProcess", "Sysfs", "SysfsError"]

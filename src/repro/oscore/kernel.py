@@ -1,0 +1,75 @@
+"""Minimal OS kernel substrate shared by the host Linux and the card uOS.
+
+A :class:`Kernel` owns a physical memory, a kernel-space allocator
+(kmalloc), a kernel address space, and a process table.  An
+:class:`OSProcess` owns a user address space and is the execution context
+SCIF calls run in (its identity is what makes "multiple VMs are just
+multiple host processes" work for sharing).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..mem import AddressSpace, KernelAllocator, PhysicalMemory
+from ..sim import Simulator
+
+__all__ = ["Kernel", "OSProcess"]
+
+
+class OSProcess:
+    """One process: a user address space plus identity."""
+
+    def __init__(self, kernel: "Kernel", pid: int, name: str):
+        self.kernel = kernel
+        self.pid = pid
+        self.name = name
+        self.address_space = AddressSpace(kernel.phys, name=f"{name}[{pid}]")
+        #: open file-descriptor table (fd -> object); chardevs populate it.
+        self.fds: dict[int, object] = {}
+        self._next_fd = 3
+        self.alive = True
+
+    def install_fd(self, obj: object) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self.fds[fd] = obj
+        return fd
+
+    def close_fd(self, fd: int) -> object:
+        return self.fds.pop(fd)
+
+    def exit(self) -> None:
+        self.alive = False
+        self.kernel.reap(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<OSProcess {self.name!r} pid={self.pid}>"
+
+
+class Kernel:
+    """Base kernel: memory management + process table."""
+
+    def __init__(self, sim: Simulator, phys: PhysicalMemory, name: str = "kernel"):
+        self.sim = sim
+        self.phys = phys
+        self.name = name
+        self.kmalloc = KernelAllocator(phys)
+        self.kspace = AddressSpace(phys, name=f"{name}-kspace")
+        self._pids = itertools.count(1)
+        self.processes: dict[int, OSProcess] = {}
+
+    def create_process(self, name: str) -> OSProcess:
+        proc = OSProcess(self, next(self._pids), name)
+        self.processes[proc.pid] = proc
+        return proc
+
+    def reap(self, proc: OSProcess) -> None:
+        self.processes.pop(proc.pid, None)
+
+    def find_process(self, pid: int) -> Optional[OSProcess]:
+        return self.processes.get(pid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Kernel {self.name!r} procs={len(self.processes)}>"

@@ -1,0 +1,69 @@
+"""A tiny sysfs: a path-addressable attribute tree.
+
+The host MIC driver exports card information under
+``/sys/class/mic/mic0/`` (family, version, state, memory size, core
+count, ...).  Intel's tools — ``micnativeloadex`` among them — read these
+attributes to decide how to drive the card, so vPHI must surface the same
+tree inside the guest (§III, *Implementation details*).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Union
+
+__all__ = ["Sysfs", "SysfsError"]
+
+AttrValue = Union[str, Callable[[], str]]
+
+
+class SysfsError(KeyError):
+    """Missing sysfs path (ENOENT)."""
+
+
+class Sysfs:
+    """Flat path -> attribute store with directory listing."""
+
+    def __init__(self) -> None:
+        self._attrs: dict[str, AttrValue] = {}
+
+    def publish(self, path: str, value: AttrValue) -> None:
+        """Register an attribute.  ``value`` may be a string or a callable
+        evaluated on every read (live attributes like ``state``)."""
+        self._attrs[self._norm(path)] = value
+
+    def read(self, path: str) -> str:
+        path = self._norm(path)
+        try:
+            value = self._attrs[path]
+        except KeyError:
+            raise SysfsError(f"sysfs: no attribute {path!r}") from None
+        return value() if callable(value) else value
+
+    def exists(self, path: str) -> bool:
+        return self._norm(path) in self._attrs
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children (attributes and subdirectories) of ``path``."""
+        prefix = self._norm(path)
+        prefix = prefix + "/" if prefix else ""
+        children = set()
+        for key in self._attrs:
+            if key.startswith(prefix):
+                children.add(key[len(prefix):].split("/", 1)[0])
+        if not children and prefix:
+            raise SysfsError(f"sysfs: no directory {path!r}")
+        return sorted(children)
+
+    def remove(self, path: str) -> None:
+        try:
+            del self._attrs[self._norm(path)]
+        except KeyError:
+            raise SysfsError(f"sysfs: no attribute {path!r}") from None
+
+    def walk(self) -> Iterator[tuple[str, str]]:
+        for key in sorted(self._attrs):
+            yield key, self.read(key)
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return "/".join(p for p in path.split("/") if p)

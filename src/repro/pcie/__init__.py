@@ -1,0 +1,16 @@
+"""PCIe interconnect model: link arbitration and scatter-gather DMA."""
+
+from .dma import DMAEngine, sg_copy, sg_total
+from .link import GEN1, GEN2, GEN3, LinkConfig, PCIeGen, PCIeLink
+
+__all__ = [
+    "DMAEngine",
+    "GEN1",
+    "GEN2",
+    "GEN3",
+    "LinkConfig",
+    "PCIeGen",
+    "PCIeLink",
+    "sg_copy",
+    "sg_total",
+]

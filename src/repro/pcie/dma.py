@@ -1,0 +1,98 @@
+"""DMA engine: scatter-gather data movement across the PCIe link.
+
+The Xeon Phi exposes several DMA channels; each transfer acquires a
+channel, programs the descriptors (fixed setup cost), then streams the
+bytes across the link.  Data *really moves* — segments are copied between
+:class:`~repro.mem.PhysicalMemory` instances — so every benchmark doubles
+as an end-to-end integrity check.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.calibration import SCIF_COSTS
+from ..mem import MemError, SGEntry
+from ..sim import Resource, Simulator
+from .link import PCIeLink
+
+__all__ = ["DMAEngine", "sg_total", "sg_copy"]
+
+
+def sg_total(sg: Sequence[SGEntry]) -> int:
+    """Total byte count of a scatter-gather list."""
+    return sum(e.nbytes for e in sg)
+
+
+def sg_copy(dst: Sequence[SGEntry], src: Sequence[SGEntry], nbytes: int | None = None) -> int:
+    """Copy bytes from one SG list to another, handling mismatched
+    segmentation.  Returns bytes copied.  Pure data movement, no time."""
+    total_src = sg_total(src)
+    total_dst = sg_total(dst)
+    n = min(total_src, total_dst) if nbytes is None else nbytes
+    if n > total_src or n > total_dst:
+        raise MemError(f"sg_copy of {n} bytes exceeds src={total_src} dst={total_dst}")
+    si = di = 0
+    soff = doff = 0
+    copied = 0
+    while copied < n:
+        s = src[si]
+        d = dst[di]
+        step = min(s.nbytes - soff, d.nbytes - doff, n - copied)
+        chunk = s.mem.read(s.paddr + soff, step)
+        d.mem.write(d.paddr + doff, chunk)
+        copied += step
+        soff += step
+        doff += step
+        if soff == s.nbytes:
+            si += 1
+            soff = 0
+        if doff == d.nbytes:
+            di += 1
+            doff = 0
+    return copied
+
+
+class DMAEngine:
+    """The card's DMA engine: N channels feeding one PCIe link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: PCIeLink,
+        channels: int = 8,
+        setup_cost: float = SCIF_COSTS.rma_setup,
+        name: str = "dma",
+    ):
+        self.sim = sim
+        self.link = link
+        self.channels = Resource(sim, capacity=channels, name=f"{name}-chan")
+        self.setup_cost = setup_cost
+        self.name = name
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def transfer(self, dst: Sequence[SGEntry], src: Sequence[SGEntry], nbytes: int | None = None):
+        """Process: move ``nbytes`` from ``src`` SG to ``dst`` SG.
+
+        ``yield from engine.transfer(dst, src)``.  Charges channel
+        acquisition, descriptor setup, and link occupancy; then moves the
+        actual bytes.  Returns bytes moved.
+        """
+        if nbytes is None:
+            nbytes = min(sg_total(src), sg_total(dst))
+        if nbytes == 0:
+            return 0
+        yield self.channels.request()
+        try:
+            yield self.sim.timeout(self.setup_cost)
+            yield from self.link.occupy(nbytes)
+            moved = sg_copy(dst, src, nbytes)
+        finally:
+            self.channels.release()
+        self.transfers += 1
+        self.bytes_moved += moved
+        return moved
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DMAEngine {self.name} channels={self.channels.capacity}>"

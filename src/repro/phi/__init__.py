@@ -1,0 +1,6 @@
+"""Xeon Phi coprocessor device model."""
+
+from .device import DeviceState, XeonPhiDevice
+from .specs import SKUS, PhiSKU, sku
+
+__all__ = ["DeviceState", "PhiSKU", "SKUS", "XeonPhiDevice", "sku"]

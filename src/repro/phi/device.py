@@ -1,0 +1,105 @@
+"""The Xeon Phi PCIe device: GDDR, DMA engines, link attachment, state.
+
+A :class:`XeonPhiDevice` is the hardware half; booting it creates a
+:class:`~repro.uos.UOS` (the software half) on top.  The host talks to the
+device exclusively through its PCIe link — doorbells for control, the DMA
+engine for bulk data — which is the property vPHI inherits for free by
+virtualizing SCIF above this layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..mem import PhysicalMemory
+from ..pcie import DMAEngine, LinkConfig, PCIeLink
+from ..sim import Simulator, ms
+from .specs import PhiSKU, sku
+
+__all__ = ["DeviceState", "XeonPhiDevice"]
+
+
+class DeviceState(enum.Enum):
+    """mic driver card states (mirrors /sys/class/mic/micN/state)."""
+
+    READY = "ready"
+    BOOTING = "booting"
+    ONLINE = "online"
+    SHUTDOWN = "shutdown"
+    RESET = "resetting"
+
+
+class XeonPhiDevice:
+    """One coprocessor card plugged into a PCIe slot."""
+
+    #: simulated uOS boot time (Linux boot on the card takes ~10s of wall
+    #: clock on real hardware; scaled down, it only orders events here).
+    BOOT_TIME = ms(50)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        model: str | PhiSKU = "3120P",
+        index: int = 0,
+        link_config: Optional[LinkConfig] = None,
+    ):
+        self.sim = sim
+        self.sku = model if isinstance(model, PhiSKU) else sku(model)
+        self.index = index
+        self.name = f"mic{index}"
+        self.gddr = PhysicalMemory(self.sku.gddr_bytes, name=f"{self.name}-gddr")
+        self.link = PCIeLink(sim, link_config or LinkConfig(), name=f"{self.name}-pcie")
+        self.dma = DMAEngine(sim, self.link, channels=8, name=f"{self.name}-dma")
+        self.state = DeviceState.READY
+        #: SCIF node id, assigned when the fabric attaches the card (host=0).
+        self.node_id: Optional[int] = None
+        #: the uOS instance once booted.
+        self.uos = None
+
+    #: simulated reset time (firmware handshake + GDDR retrain).
+    RESET_TIME = ms(20)
+
+    def boot(self):
+        """Process: boot the uOS.  ``yield from device.boot()``."""
+        from ..uos import UOS  # deferred: uos imports phi
+
+        if self.state is DeviceState.ONLINE:
+            return self.uos
+        self.state = DeviceState.BOOTING
+        yield self.sim.timeout(self.BOOT_TIME)
+        self.uos = UOS(self.sim, self)
+        self.state = DeviceState.ONLINE
+        return self.uos
+
+    def reset(self, fabric=None):
+        """Process: hard-reset the card (``micctrl --reset``).
+
+        The uOS dies, every SCIF endpoint on the card's node is swept
+        (peers observe connection resets), and the card returns to READY
+        awaiting a fresh :meth:`boot`.
+        """
+        self.state = DeviceState.RESET
+        if fabric is not None and self.node_id is not None:
+            fabric.node(self.node_id).reset()
+        self.uos = None
+        yield self.sim.timeout(self.RESET_TIME)
+        self.state = DeviceState.READY
+        return self
+
+    def sysfs_attrs(self) -> dict[str, str]:
+        """The attribute set the host mic driver exports for this card —
+        what micnativeloadex reads, and what vPHI must replicate in-guest."""
+        return {
+            "family": self.sku.family,
+            "version": self.sku.name,
+            "state": self.state.value,
+            "cores_count": str(self.sku.cores),
+            "cores_frequency": str(int(self.sku.clock_hz)),
+            "memsize": str(self.sku.gddr_bytes // 1024),  # KiB, like mpss
+            "active_cores": str(self.sku.usable_cores),
+            "post_code": "FF",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<XeonPhiDevice {self.name} {self.sku.name} {self.state.value}>"

@@ -1,0 +1,61 @@
+"""Xeon Phi (Knights Corner) SKU catalog.
+
+The paper's testbed card is the 3120P; the other x100-family SKUs are
+included so experiments can vary the device (an axis the paper leaves to
+future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhiSKU", "SKUS", "sku"]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class PhiSKU:
+    """Static silicon parameters of one coprocessor model."""
+
+    name: str
+    family: str
+    cores: int
+    threads_per_core: int
+    clock_hz: float
+    gddr_bytes: int
+    gddr_bandwidth: float  # bytes/s
+    tdp_watts: int
+
+    @property
+    def hw_threads(self) -> int:
+        return self.cores * self.threads_per_core
+
+    @property
+    def peak_dp_flops(self) -> float:
+        """512-bit FMA: 8 DP lanes x 2 flops per cycle per core."""
+        return self.cores * self.clock_hz * 16
+
+    @property
+    def usable_cores(self) -> int:
+        """One core is reserved for the uOS itself (§III)."""
+        return self.cores - 1
+
+
+SKUS: dict[str, PhiSKU] = {
+    s.name: s
+    for s in (
+        PhiSKU("3120A", "x100", 57, 4, 1.10e9, 6 * GB, 240e9, 300),
+        PhiSKU("3120P", "x100", 57, 4, 1.10e9, 6 * GB, 240e9, 300),
+        PhiSKU("31S1P", "x100", 57, 4, 1.10e9, 8 * GB, 352e9, 270),
+        PhiSKU("5110P", "x100", 60, 4, 1.053e9, 8 * GB, 320e9, 225),
+        PhiSKU("7120P", "x100", 61, 4, 1.238e9, 16 * GB, 352e9, 300),
+    )
+}
+
+
+def sku(name: str) -> PhiSKU:
+    try:
+        return SKUS[name]
+    except KeyError:
+        raise KeyError(f"unknown Xeon Phi SKU {name!r}; known: {sorted(SKUS)}") from None

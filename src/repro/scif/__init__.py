@@ -1,0 +1,68 @@
+"""SCIF: the Symmetric Communication Interface (transport layer).
+
+The low-level abstraction over PCIe that host and card applications use to
+talk to each other (§II-B) — and the layer vPHI virtualizes.
+"""
+
+from .api import NativeScif, as_bytes_array
+from .constants import (
+    MapFlag,
+    PollEvent,
+    Prot,
+    RecvFlag,
+    RmaFlag,
+    SCIF_HOST_NODE,
+    SCIF_PORT_RSVD,
+    SendFlag,
+)
+from .endpoint import ConnRequest, Endpoint, EpState
+from .errors import (
+    EAGAIN,
+    EADDRINUSE,
+    EBADF,
+    ECONNREFUSED,
+    ECONNRESET,
+    EINVAL,
+    EISCONN,
+    ENOMEM,
+    ENOTCONN,
+    ENXIO,
+    ETIMEDOUT,
+    ScifError,
+)
+from .fabric import ScifFabric, ScifNode
+from .registration import RegisteredWindow, WindowRegistry
+from .rma import execute_rma
+
+__all__ = [
+    "ConnRequest",
+    "EAGAIN",
+    "EADDRINUSE",
+    "EBADF",
+    "ECONNREFUSED",
+    "ECONNRESET",
+    "EINVAL",
+    "EISCONN",
+    "ENOMEM",
+    "ENOTCONN",
+    "ENXIO",
+    "ETIMEDOUT",
+    "Endpoint",
+    "EpState",
+    "MapFlag",
+    "NativeScif",
+    "PollEvent",
+    "Prot",
+    "RecvFlag",
+    "RegisteredWindow",
+    "RmaFlag",
+    "SCIF_HOST_NODE",
+    "SCIF_PORT_RSVD",
+    "ScifError",
+    "ScifFabric",
+    "ScifNode",
+    "SendFlag",
+    "WindowRegistry",
+    "as_bytes_array",
+    "execute_rma",
+]

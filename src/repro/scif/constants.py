@@ -1,0 +1,62 @@
+"""SCIF constants: flags, port ranges, limits (mirrors <scif.h>)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "SCIF_PORT_RSVD",
+    "SCIF_PORT_MAX",
+    "SCIF_HOST_NODE",
+    "RecvFlag",
+    "SendFlag",
+    "Prot",
+    "MapFlag",
+    "PollEvent",
+    "RmaFlag",
+]
+
+#: ports below this are admin/reserved; ephemeral binds allocate above it.
+SCIF_PORT_RSVD = 1024
+SCIF_PORT_MAX = 65535
+#: the host is always SCIF node 0; cards are 1..N (as in MPSS).
+SCIF_HOST_NODE = 0
+
+
+class SendFlag(enum.IntFlag):
+    NONE = 0
+    #: block until the full length is accepted.
+    SCIF_SEND_BLOCK = 0x1
+
+
+class RecvFlag(enum.IntFlag):
+    NONE = 0
+    #: block until exactly the requested length has been received.
+    SCIF_RECV_BLOCK = 0x1
+
+
+class Prot(enum.IntFlag):
+    SCIF_PROT_READ = 0x1
+    SCIF_PROT_WRITE = 0x2
+
+
+class MapFlag(enum.IntFlag):
+    NONE = 0
+    #: honour the fixed offset given to scif_register instead of allocating.
+    SCIF_MAP_FIXED = 0x10
+
+
+class PollEvent(enum.IntFlag):
+    NONE = 0
+    SCIF_POLLIN = 0x1
+    SCIF_POLLOUT = 0x4
+    SCIF_POLLERR = 0x8
+    SCIF_POLLHUP = 0x10
+
+
+class RmaFlag(enum.IntFlag):
+    NONE = 0
+    #: force CPU copy instead of DMA (useful for tiny transfers).
+    SCIF_RMA_USECPU = 0x1
+    #: wait for the transfer to be remotely visible before returning.
+    SCIF_RMA_SYNC = 0x2

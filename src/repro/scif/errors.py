@@ -1,0 +1,76 @@
+"""SCIF error model: one exception class per errno the real API returns."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ScifError",
+    "EINVAL",
+    "EADDRINUSE",
+    "ECONNREFUSED",
+    "ECONNRESET",
+    "ENOTCONN",
+    "EISCONN",
+    "EAGAIN",
+    "ENXIO",
+    "ENOMEM",
+    "EACCES",
+    "ETIMEDOUT",
+    "EBADF",
+]
+
+
+class ScifError(Exception):
+    """Base SCIF failure; ``errno_name`` mirrors the C API's return code."""
+
+    errno_name = "EIO"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.args[0] if self.args else ''!r})"
+
+
+class EINVAL(ScifError):
+    errno_name = "EINVAL"
+
+
+class EADDRINUSE(ScifError):
+    errno_name = "EADDRINUSE"
+
+
+class ECONNREFUSED(ScifError):
+    errno_name = "ECONNREFUSED"
+
+
+class ECONNRESET(ScifError):
+    errno_name = "ECONNRESET"
+
+
+class ENOTCONN(ScifError):
+    errno_name = "ENOTCONN"
+
+
+class EISCONN(ScifError):
+    errno_name = "EISCONN"
+
+
+class EAGAIN(ScifError):
+    errno_name = "EAGAIN"
+
+
+class ENXIO(ScifError):
+    errno_name = "ENXIO"
+
+
+class ENOMEM(ScifError):
+    errno_name = "ENOMEM"
+
+
+class EACCES(ScifError):
+    errno_name = "EACCES"
+
+
+class ETIMEDOUT(ScifError):
+    errno_name = "ETIMEDOUT"
+
+
+class EBADF(ScifError):
+    errno_name = "EBADF"

@@ -1,0 +1,157 @@
+"""Registered windows: the endpoint's registered address space (RAS).
+
+``scif_register`` pins a local buffer and exposes it to the peer at an
+offset in the endpoint's registered address space; RMA operations and
+``scif_mmap`` then name memory by ``(endpoint, offset)``.  Pinning is what
+guarantees DMA hits valid frames (§III, *Guest memory registration*).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+from ..mem import PinnedPages, SGEntry, page_align_up
+from .constants import Prot
+from .errors import EADDRINUSE, EINVAL
+
+__all__ = ["RegisteredWindow", "WindowRegistry"]
+
+
+class RegisteredWindow:
+    """One pinned, peer-visible memory window."""
+
+    __slots__ = ("offset", "nbytes", "prot", "sg", "pinned", "label")
+
+    def __init__(
+        self,
+        offset: int,
+        nbytes: int,
+        prot: Prot,
+        sg: Sequence[SGEntry],
+        pinned: Optional[PinnedPages] = None,
+        label: str = "",
+    ):
+        self.offset = offset
+        self.nbytes = nbytes
+        self.prot = prot
+        self.sg = list(sg)
+        self.pinned = pinned
+        self.label = label
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.nbytes
+
+    def slice_sg(self, start: int, nbytes: int) -> list[SGEntry]:
+        """SG covering ``[start, start+nbytes)`` relative to window offset 0
+        of the RAS (``start`` is an absolute RAS offset)."""
+        rel = start - self.offset
+        out: list[SGEntry] = []
+        pos = 0
+        for entry in self.sg:
+            seg_lo = pos
+            seg_hi = pos + entry.nbytes
+            lo = max(rel, seg_lo)
+            hi = min(rel + nbytes, seg_hi)
+            if lo < hi:
+                out.append(SGEntry(entry.mem, entry.paddr + (lo - seg_lo), hi - lo))
+            pos = seg_hi
+        return out
+
+    def release(self) -> None:
+        if self.pinned is not None and self.pinned.active:
+            self.pinned.unpin()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Window [{self.offset:#x},{self.end:#x}) {self.prot!r}>"
+
+
+class WindowRegistry:
+    """Per-endpoint RAS: non-overlapping windows, ordered by offset."""
+
+    #: ephemeral offsets are handed out from here upward.
+    DYNAMIC_BASE = 0x4000_0000
+
+    def __init__(self) -> None:
+        self._windows: list[RegisteredWindow] = []
+        self._next_dynamic = self.DYNAMIC_BASE
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def __iter__(self):
+        return iter(self._windows)
+
+    def add(
+        self,
+        nbytes: int,
+        prot: Prot,
+        sg: Sequence[SGEntry],
+        offset: Optional[int] = None,
+        pinned: Optional[PinnedPages] = None,
+        label: str = "",
+    ) -> RegisteredWindow:
+        """Insert a window; allocates a dynamic offset when none is fixed."""
+        if nbytes <= 0:
+            raise EINVAL("window length must be positive")
+        if sum(e.nbytes for e in sg) < nbytes:
+            raise EINVAL("scatter-gather list shorter than window length")
+        if offset is None:
+            offset = self._next_dynamic
+            self._next_dynamic += page_align_up(nbytes) + 4096
+        elif offset % 4096:
+            raise EINVAL(f"fixed window offset {offset:#x} not page aligned")
+        if self._overlaps(offset, offset + nbytes):
+            raise EADDRINUSE(f"window [{offset:#x},{offset + nbytes:#x}) overlaps")
+        win = RegisteredWindow(offset, nbytes, prot, sg, pinned=pinned, label=label)
+        starts = [w.offset for w in self._windows]
+        self._windows.insert(bisect.bisect_left(starts, offset), win)
+        return win
+
+    def remove(self, offset: int) -> RegisteredWindow:
+        for i, w in enumerate(self._windows):
+            if w.offset == offset:
+                del self._windows[i]
+                w.release()
+                return w
+        raise EINVAL(f"no window registered at {offset:#x}")
+
+    def clear(self) -> None:
+        for w in self._windows:
+            w.release()
+        self._windows.clear()
+
+    def _overlaps(self, start: int, end: int) -> bool:
+        return any(w.offset < end and start < w.end for w in self._windows)
+
+    def find(self, offset: int) -> Optional[RegisteredWindow]:
+        starts = [w.offset for w in self._windows]
+        i = bisect.bisect_right(starts, offset) - 1
+        if i >= 0 and self._windows[i].offset <= offset < self._windows[i].end:
+            return self._windows[i]
+        return None
+
+    def resolve(self, offset: int, nbytes: int, require: Prot) -> list[SGEntry]:
+        """Resolve a RAS range (possibly spanning adjacent windows) to SG.
+
+        Raises EINVAL on gaps and EACCES-flavoured EINVAL on protection
+        mismatch (matching the driver's behaviour of failing the ioctl).
+        """
+        if nbytes <= 0:
+            raise EINVAL("RMA length must be positive")
+        out: list[SGEntry] = []
+        pos = offset
+        end = offset + nbytes
+        while pos < end:
+            win = self.find(pos)
+            if win is None:
+                raise EINVAL(f"RAS offset {pos:#x} not registered")
+            if require and not (win.prot & require):
+                raise EINVAL(
+                    f"window at {win.offset:#x} lacks {require!r} permission"
+                )
+            take = min(end, win.end) - pos
+            out.extend(win.slice_sg(pos, take))
+            pos += take
+        return out

@@ -1,0 +1,71 @@
+"""RMA execution: remote reads/writes between registered windows.
+
+Two data paths, as in the real driver:
+
+* **CPU (programmed I/O)** for small transfers (below
+  :attr:`~repro.analysis.calibration.ScifCosts.dma_threshold`) or when the
+  caller passes ``SCIF_RMA_USECPU``;
+* **DMA** otherwise: the card's engine is programmed with both scatter
+  lists and streams the bytes across the PCIe link.
+
+Bytes genuinely move between the two :class:`~repro.mem.PhysicalMemory`
+instances either way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.calibration import HOST, SCIF_COSTS, ScifCosts
+from ..mem import SGEntry
+from ..pcie import sg_copy
+from .constants import RmaFlag
+from .endpoint import Endpoint
+from .errors import ENOTCONN
+
+__all__ = ["execute_rma"]
+
+
+def execute_rma(
+    ep: Endpoint,
+    direction: str,
+    local_sg: Sequence[SGEntry],
+    remote_sg: Sequence[SGEntry],
+    nbytes: int,
+    flags: RmaFlag = RmaFlag.NONE,
+    costs: ScifCosts = SCIF_COSTS,
+):
+    """Process: one remote read ("read": remote->local) or write.
+
+    The caller (API layer) has already charged syscall entry; this charges
+    the wire and completion, moves the bytes, and maintains fence state.
+    """
+    if ep.peer_addr is None:
+        raise ENOTCONN("RMA on unconnected endpoint")
+    sim = ep.sim
+    fabric = ep.node.fabric
+    src, dst = (remote_sg, local_sg) if direction == "read" else (local_sg, remote_sg)
+    seq = ep.rma_begin()
+    try:
+        local_id = ep.node.node_id
+        remote_id = ep.peer_addr[0]
+        use_cpu = bool(flags & RmaFlag.SCIF_RMA_USECPU) or nbytes < costs.dma_threshold
+        if use_cpu:
+            # PIO: request travels, bytes trickle at the send-recv rate.
+            yield sim.timeout(
+                fabric.msg_delay(local_id, remote_id) + nbytes / costs.sendrecv_bandwidth
+            )
+            sg_copy(dst, src, nbytes)
+        else:
+            engine = fabric.dma_engine(local_id, remote_id)
+            if engine is None:
+                # loopback: plain host memcpy
+                yield sim.timeout(nbytes / HOST.memcpy_bandwidth)
+                sg_copy(dst, src, nbytes)
+            else:
+                yield from engine.transfer(dst, src, nbytes)
+        # completion message back to the initiator
+        yield sim.timeout(fabric.msg_delay(local_id, remote_id))
+    finally:
+        ep.rma_end(seq)
+    return nbytes

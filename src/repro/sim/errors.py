@@ -1,0 +1,36 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class Interrupted(SimError):
+    """Raised inside a process that was interrupted by another process.
+
+    ``cause`` carries the object passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupted(cause={self.cause!r})"
+
+
+class Killed(SimError):
+    """Raised inside a process that was forcibly killed."""
+
+
+class DeadlockError(SimError):
+    """A process the caller was waiting for never finished: the event
+    queue drained (or the deadline passed) while it was still blocked.
+    Raised by :func:`repro.sim.run_with` and the MPI launcher."""
+
+
+class StopProcess(Exception):
+    """Internal: thrown to unwind a generator on kill.  Not a SimError so
+    that user ``except SimError`` blocks do not swallow it."""

@@ -1,0 +1,6 @@
+"""Card-side micro OS: kernel, compute scheduler."""
+
+from .kernel import UOS
+from .scheduler import OCCUPANCY, ComputeJob, MICScheduler, placement_throughput
+
+__all__ = ["ComputeJob", "MICScheduler", "OCCUPANCY", "UOS", "placement_throughput"]

@@ -1,0 +1,45 @@
+"""The card's micro operating system (uOS).
+
+A trimmed Linux that boots from the host over PCIe: it owns the card's
+GDDR, schedules user kernels over the cores, runs the card-side SCIF
+driver and, once MPSS services start, the ``coi_daemon`` that receives
+offload/launch requests (§II-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..oscore import Kernel, OSProcess
+from ..sim import Simulator
+from .scheduler import MICScheduler
+
+__all__ = ["UOS"]
+
+
+class UOS(Kernel):
+    """uOS kernel instance for one booted card."""
+
+    def __init__(self, sim: Simulator, device) -> None:
+        super().__init__(sim, device.gddr, name=f"uos-{device.name}")
+        self.device = device
+        self.scheduler = MICScheduler(sim, device.sku)
+        #: card-side SCIF node driver, attached by the fabric.
+        self.scif_node = None
+        #: pid of the coi_daemon once MPSS services start.
+        self.coi_daemon: Optional[OSProcess] = None
+
+    def spawn_kernel(self, flops: float, threads: int, efficiency: float = 1.0,
+                     name: str = "kernel"):
+        """Submit a compute kernel to the scheduler; returns completion event."""
+        return self.scheduler.submit(flops, threads, efficiency, name=name)
+
+    def run_compute(self, flops: float, threads: int, efficiency: float = 1.0,
+                    name: str = "kernel"):
+        """Process helper: ``yield from uos.run_compute(...)`` blocks the
+        calling card process until the kernel retires."""
+        job = yield self.spawn_kernel(flops, threads, efficiency, name=name)
+        return job
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<UOS {self.name} jobs={self.scheduler.active_jobs}>"

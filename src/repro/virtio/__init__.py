@@ -1,0 +1,6 @@
+"""Virtio: the split-driver paravirtual transport (rings, kicks, IRQs)."""
+
+from .ring import DescFlag, Descriptor, VirtqueueElement, Vring
+from .transport import VirtioDevice
+
+__all__ = ["DescFlag", "Descriptor", "VirtioDevice", "VirtqueueElement", "Vring"]

@@ -1,0 +1,36 @@
+"""vPHI: the paper's contribution — SCIF virtualization for QEMU-KVM guests.
+
+Split-driver design (§III): a guest-kernel frontend intercepts SCIF
+system calls and forwards them over a virtio ring to a QEMU backend that
+replays them against the host SCIF driver.  Multiple VMs are just
+multiple host processes, so the card is shared.
+"""
+
+from .backend import VPhiBackend
+from .chunking import BounceBuffers, chunk_plan
+from .config import VPhiConfig, WaitMode
+from .frontend import VPhiFrontend
+from .guest_libscif import GuestEndpoint, GuestScif
+from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .setup import VPhiInstance, install_vphi
+from .wait import HybridWait, InterruptWait, PollingWait, make_wait_scheme
+
+__all__ = [
+    "BounceBuffers",
+    "GuestEndpoint",
+    "GuestScif",
+    "HybridWait",
+    "InterruptWait",
+    "PollingWait",
+    "VPhiBackend",
+    "VPhiConfig",
+    "VPhiFrontend",
+    "VPhiInstance",
+    "VPhiOp",
+    "VPhiRequest",
+    "VPhiResponse",
+    "WaitMode",
+    "chunk_plan",
+    "install_vphi",
+    "make_wait_scheme",
+]

@@ -1,0 +1,83 @@
+"""KMALLOC_MAX_SIZE chunking (§III, *Implementation details*).
+
+"Linux memory subsystem imposes a limitation on the maximum set of
+physically contiguous pages ... for x86_64 ... the limit is 4MB.  Hence,
+if the requested data size is greater than this value, we implement the
+data transfer breaking up the allocation to KMALLOC_MAX_SIZE elements and
+proceed with each one of them."
+"""
+
+from __future__ import annotations
+
+from ..mem import KMALLOC_MAX_SIZE, KernelAllocator, PhysExtent
+
+__all__ = ["chunk_plan", "BounceBuffers"]
+
+
+def chunk_plan(nbytes: int, chunk_size: int = KMALLOC_MAX_SIZE) -> list[int]:
+    """Split ``nbytes`` into chunk sizes, each <= ``chunk_size``."""
+    if nbytes < 0:
+        raise ValueError("negative size")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    out = []
+    left = nbytes
+    while left > 0:
+        take = min(chunk_size, left)
+        out.append(take)
+        left -= take
+    return out
+
+
+class BounceBuffers:
+    """A set of kmalloc'd guest-contiguous chunks covering one transfer."""
+
+    __slots__ = ("allocator", "extents", "sizes", "nbytes")
+
+    def __init__(self, allocator: KernelAllocator, nbytes: int, chunk_size: int,
+                 label: str = "vphi-bounce"):
+        self.allocator = allocator
+        self.nbytes = nbytes
+        self.sizes = chunk_plan(nbytes, chunk_size)
+        self.extents: list[PhysExtent] = []
+        try:
+            for size in self.sizes:
+                self.extents.append(allocator.kmalloc(size, label=label))
+        except Exception:
+            self.free()
+            raise
+
+    def descriptors(self) -> list[tuple[int, int]]:
+        """(guest_physical_addr, len) pairs for the virtio chain."""
+        return [(ext.addr, size) for ext, size in zip(self.extents, self.sizes)]
+
+    def scatter(self, data) -> None:
+        """Copy a flat payload into the chunks (guest user->kernel copy)."""
+        off = 0
+        for ext, size in zip(self.extents, self.sizes):
+            ext.write(data[off : off + size])
+            off += size
+
+    def gather(self, nbytes: int | None = None):
+        """Concatenate chunk contents back into a flat array."""
+        import numpy as np
+
+        n = self.nbytes if nbytes is None else min(nbytes, self.nbytes)
+        out = np.empty(n, dtype=np.uint8)
+        off = 0
+        for ext, size in zip(self.extents, self.sizes):
+            take = min(size, n - off)
+            if take <= 0:
+                break
+            out[off : off + take] = ext.read(0, take)
+            off += take
+        return out
+
+    def free(self) -> None:
+        for ext in self.extents:
+            if not ext.freed:
+                self.allocator.kfree(ext)
+        self.extents.clear()
+
+    def __len__(self) -> int:
+        return len(self.extents)

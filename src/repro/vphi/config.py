@@ -1,0 +1,68 @@
+"""vPHI configuration: wait scheme, blocking policy, chunking.
+
+The defaults are the paper's implementation choices (§III): interrupt-
+based waiting in the frontend; blocking backend handling for every SCIF
+operation except ``scif_accept`` (whose completion time is unbounded) and
+``poll`` (same reason); 4 MB KMALLOC chunking.  The alternatives — polling
+and the **hybrid** scheme the paper lists as future work — are implemented
+and selectable for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem import KMALLOC_MAX_SIZE
+from .protocol import VPhiOp
+
+__all__ = ["WaitMode", "VPhiConfig"]
+
+
+class WaitMode:
+    """Frontend wait-scheme names."""
+
+    INTERRUPT = "interrupt"
+    POLLING = "polling"
+    HYBRID = "hybrid"
+
+    ALL = (INTERRUPT, POLLING, HYBRID)
+
+
+#: operations whose backend handling must not freeze the VM indefinitely.
+_DEFAULT_NONBLOCKING = frozenset(
+    {VPhiOp.ACCEPT, VPhiOp.POLL, VPhiOp.FENCE_WAIT, VPhiOp.FENCE_SIGNAL}
+)
+
+
+@dataclass
+class VPhiConfig:
+    """Tunable knobs of one vPHI instance."""
+
+    #: frontend wait scheme (§III design choice; §IV-B blames it for 93 %
+    #: of the latency overhead).
+    wait_mode: str = WaitMode.INTERRUPT
+    #: hybrid threshold: requests moving fewer bytes than this poll,
+    #: larger ones sleep (the paper's proposed future work).
+    hybrid_threshold: int = 32 * 1024
+    #: kmalloc bounce chunk size (the x86_64 KMALLOC_MAX_SIZE).
+    chunk_size: int = KMALLOC_MAX_SIZE
+    #: ops handled on a QEMU worker thread instead of freezing the VM.
+    nonblocking_ops: frozenset = _DEFAULT_NONBLOCKING
+    #: EVENT_IDX-style notification suppression: skip kicks while the
+    #: backend is draining, coalesce completion interrupts.  Off by
+    #: default (the paper's prototype predates it); ablation A7 measures
+    #: what it saves.
+    suppress_notifications: bool = False
+
+    def __post_init__(self) -> None:
+        if self.wait_mode not in WaitMode.ALL:
+            raise ValueError(f"unknown wait mode {self.wait_mode!r}")
+        if self.chunk_size <= 0 or self.chunk_size > KMALLOC_MAX_SIZE:
+            raise ValueError(
+                f"chunk_size must be in (0, {KMALLOC_MAX_SIZE}], got {self.chunk_size}"
+            )
+        if self.hybrid_threshold < 0:
+            raise ValueError("hybrid_threshold must be >= 0")
+
+    def is_blocking(self, op: VPhiOp) -> bool:
+        return op not in self.nonblocking_ops

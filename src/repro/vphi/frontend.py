@@ -1,0 +1,236 @@
+"""The vPHI frontend driver: the guest kernel module.
+
+§III: "the driver acts as a 'glue' between virtualization-unaware libscif
+and the rest of the stack by forwarding the operations requested to [the]
+vPHI backend device through virtio communication channels.  Among its
+duties, the frontend driver multiplexes requests and orchestrates the
+user space threads or processes that are waiting for a response from the
+coprocessor."
+
+Per request it: copies user data into kmalloc'd bounce chunks (the *only*
+copies on the whole path, §III/Fig 3 steps 3i/3ii), posts the chunk
+references on the virtio ring, kicks the backend, and parks the caller on
+the configured wait scheme until the completion interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.calibration import HOST, VPHI_COSTS, HostParams, VPhiCosts
+from ..sim import Simulator, Tracer, WaitQueue
+from ..virtio import VirtioDevice
+from .chunking import BounceBuffers
+from .config import VPhiConfig
+from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .wait import make_wait_scheme
+
+__all__ = ["VPhiFrontend"]
+
+
+class VPhiFrontend:
+    """The guest kernel module (insmod'ed into the guest's Linux)."""
+
+    def __init__(
+        self,
+        vm,
+        virtio: VirtioDevice,
+        config: Optional[VPhiConfig] = None,
+        costs: VPhiCosts = VPHI_COSTS,
+        host_params: HostParams = HOST,
+        tracer: Optional[Tracer] = None,
+    ):
+        self.vm = vm
+        self.sim: Simulator = vm.sim
+        self.virtio = virtio
+        self.config = config or VPhiConfig()
+        self.costs = costs
+        self.host_params = host_params
+        self.tracer = tracer or Tracer()
+        self.kmalloc = vm.guest_kernel.kmalloc
+        self.waitq = WaitQueue(self.sim, name=f"{vm.name}-vphi-wait")
+        #: submitters blocked on descriptor exhaustion (woken on reaping)
+        self.ring_space = WaitQueue(self.sim, name=f"{vm.name}-vphi-ringspace")
+        self.wait_scheme = make_wait_scheme(
+            self.config.wait_mode, self.config.hybrid_threshold, costs
+        )
+        #: completed responses awaiting their caller, by tag.
+        self.responses: dict[int, VPhiResponse] = {}
+        virtio.bind_guest_isr(self.irq_handler)
+        vm.guest_kernel.vphi_frontend = self
+        #: metrics
+        self.requests = 0
+        self.irqs = 0
+
+    # ------------------------------------------------------------------
+    # interrupt path
+    # ------------------------------------------------------------------
+    def irq_handler(self) -> None:
+        """The virtual-interrupt ISR: drain the used ring, wake sleepers.
+
+        "the interrupt handler in the guest wakes up all sleeping
+        processes, which check the shared ring to determine if the reply
+        is for them" (§IV-B).
+        """
+        self.irqs += 1
+        self.drain_used()
+        self.waitq.wake_all(per_waiter_cost=self.costs.wakeup_per_waiter)
+
+    def drain_used(self) -> None:
+        """Reap completions off the shared ring into the response table."""
+        reaped = False
+        while True:
+            got = self.virtio.ring.get_used()
+            if got is None:
+                break
+            reaped = True
+            _head, written, header = got
+            resp: VPhiResponse = header
+            self.responses[resp.tag] = resp
+        if reaped:
+            # reaping released descriptors: unblock parked submitters
+            self.ring_space.wake_all()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        op: VPhiOp,
+        handle: int = 0,
+        args: Optional[dict] = None,
+        out_data: Optional[np.ndarray] = None,
+        in_nbytes: int = 0,
+        segment_args=None,
+    ):
+        """Process: forward one SCIF operation to the backend.
+
+        Returns ``(result, in_data)`` where ``in_data`` is the gathered
+        device->guest payload (or None).  Raises the host-side ScifError
+        if the operation failed.
+
+        Transfers whose bounce chunks would not fit the descriptor ring
+        are split into sequential ring submissions (each paying its own
+        round trip — the real driver does the same when a request exceeds
+        the ring).  ``segment_args(args, byte_offset)`` rewrites the
+        op-specific arguments for each segment (RMA offsets advance).
+        """
+        max_data_descs = self.virtio.ring.size // 2
+        max_segment = max_data_descs * self.config.chunk_size
+        total = len(out_data) if out_data is not None else in_nbytes
+        if total > max_segment:
+            results = []
+            gathered = []
+            off = 0
+            while off < total:
+                take = min(max_segment, total - off)
+                seg_args = segment_args(args, off) if segment_args else args
+                seg_out = out_data[off : off + take] if out_data is not None else None
+                seg_in = take if in_nbytes else 0
+                result, data = yield from self._submit_one(
+                    op, handle, seg_args, seg_out, seg_in
+                )
+                results.append(result)
+                if data is not None:
+                    gathered.append(data)
+                off += take
+            agg = sum(r for r in results if isinstance(r, (int, float)))
+            in_data = np.concatenate(gathered) if gathered else None
+            return agg, in_data
+        result, data = yield from self._submit_one(op, handle, args, out_data, in_nbytes)
+        return result, data
+
+    def _submit_one(
+        self,
+        op: VPhiOp,
+        handle: int = 0,
+        args: Optional[dict] = None,
+        out_data: Optional[np.ndarray] = None,
+        in_nbytes: int = 0,
+    ):
+        """One ring submission (at most ring-size/2 data descriptors)."""
+        self.requests += 1
+        acc = self.tracer.accumulate
+        # 3b/3c: request marshalling in the guest kernel
+        yield self.sim.timeout(self.costs.frontend)
+        acc("vphi.phase.frontend", self.costs.frontend)
+        out_bb: Optional[BounceBuffers] = None
+        in_bb: Optional[BounceBuffers] = None
+        # the serialized request header always rides as the first out
+        # descriptor (even control-only requests put one buffer on the ring)
+        hdr_ext = self.kmalloc.kmalloc(256, label="vphi-hdr")
+        try:
+            out_descs: list[tuple[int, int]] = [(hdr_ext.addr, 256)]
+            in_descs: list[tuple[int, int]] = []
+            if out_data is not None and len(out_data):
+                out_bb = BounceBuffers(
+                    self.kmalloc, len(out_data), self.config.chunk_size
+                )
+                # 3i: the user->kernel copy
+                copy_t = len(out_data) / self.host_params.memcpy_bandwidth
+                yield self.sim.timeout(copy_t)
+                acc("vphi.phase.copy", copy_t)
+                out_bb.scatter(out_data)
+                out_descs.extend(out_bb.descriptors())
+            if in_nbytes:
+                in_bb = BounceBuffers(self.kmalloc, in_nbytes, self.config.chunk_size)
+                in_descs = in_bb.descriptors()
+            req = VPhiRequest(
+                op=op,
+                handle=handle,
+                args=dict(args or {}),
+                out_nbytes=0 if out_data is None else len(out_data),
+                in_nbytes=in_nbytes,
+            )
+            # back-pressure: park until the ring has room for the chain
+            # (the real driver sleeps on virtqueue_add failure too)
+            needed = len(out_descs) + len(in_descs)
+            while self.virtio.ring.num_free < needed:
+                yield self.ring_space.wait()
+            self.virtio.ring.add_chain(out=out_descs, inb=in_descs, header=req)
+            self.tracer.count(f"vphi.op.{op.value}")
+            self.tracer.emit("vphi.timeline", "request posted to ring",
+                             tag=req.tag, op=op.value)
+            # 3c: notify the backend (vmexit)
+            t0 = self.sim.now
+            yield from self.virtio.kick()
+            acc("vphi.phase.kick", self.sim.now - t0)
+            self.tracer.emit("vphi.timeline", "backend kicked (vmexit)",
+                             tag=req.tag, op=op.value)
+            data_bytes = max(req.out_nbytes, req.in_nbytes)
+            t0 = self.sim.now
+            resp: VPhiResponse = yield from self.wait_scheme.wait_for(
+                self, req.tag, data_bytes
+            )
+            # time parked waiting = backend + host op + irq + wakeup; the
+            # wakeup share is accumulated separately by the wait scheme.
+            acc("vphi.phase.wait", self.sim.now - t0)
+            self.tracer.emit("vphi.timeline", "response reaped after wakeup",
+                             tag=req.tag, op=op.value)
+            if resp.error is not None:
+                raise resp.error
+            in_data = None
+            if in_bb is not None and resp.written:
+                # 3ii: the kernel->user copy
+                copy_t = resp.written / self.host_params.memcpy_bandwidth
+                yield self.sim.timeout(copy_t)
+                acc("vphi.phase.copy", copy_t)
+                in_data = in_bb.gather(resp.written)
+            # response demux + syscall return to user space
+            yield self.sim.timeout(self.costs.guest_return)
+            acc("vphi.phase.guest_return", self.costs.guest_return)
+            return resp.result, in_data
+        finally:
+            self.kmalloc.kfree(hdr_ext)
+            if out_bb is not None:
+                out_bb.free()
+            if in_bb is not None:
+                in_bb.free()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VPhiFrontend {self.vm.name} scheme={self.wait_scheme.name} "
+            f"reqs={self.requests}>"
+        )

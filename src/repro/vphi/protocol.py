@@ -1,0 +1,72 @@
+"""The vPHI wire protocol: requests and responses crossing the virtio ring.
+
+One request per intercepted SCIF system call (§III, Fig 3 step 3c).  The
+header is a small fixed record; bulk data never rides the header — it is
+referenced by guest-physical descriptors (the kmalloc bounce chunks), so
+"every other data exchange is realized through references".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["VPhiOp", "VPhiRequest", "VPhiResponse"]
+
+_tags = itertools.count(1)
+
+
+class VPhiOp(enum.Enum):
+    """SCIF operations forwarded through the ring."""
+
+    OPEN = "open"
+    CLOSE = "close"
+    BIND = "bind"
+    LISTEN = "listen"
+    CONNECT = "connect"
+    ACCEPT = "accept"
+    SEND = "send"
+    RECV = "recv"
+    REGISTER = "register"
+    UNREGISTER = "unregister"
+    READFROM = "readfrom"
+    WRITETO = "writeto"
+    VREADFROM = "vreadfrom"
+    VWRITETO = "vwriteto"
+    MMAP = "mmap"
+    FENCE_MARK = "fence_mark"
+    FENCE_WAIT = "fence_wait"
+    FENCE_SIGNAL = "fence_signal"
+    GET_NODE_IDS = "get_node_ids"
+    POLL = "poll"
+    SYSFS_READ = "sysfs_read"
+
+
+@dataclass
+class VPhiRequest:
+    """Ring request header."""
+
+    op: VPhiOp
+    #: backend endpoint handle (0 for OPEN / non-endpoint ops).
+    handle: int = 0
+    #: op-specific scalar arguments.
+    args: dict = field(default_factory=dict)
+    #: byte counts of the out (guest->host) and in (host->guest) chunk
+    #: descriptors accompanying the header.
+    out_nbytes: int = 0
+    in_nbytes: int = 0
+    tag: int = field(default_factory=lambda: next(_tags))
+
+
+@dataclass
+class VPhiResponse:
+    """Ring response, matched to the request by tag."""
+
+    tag: int
+    result: Any = None
+    #: a ScifError instance when the host-side call failed.
+    error: Optional[Exception] = None
+    #: bytes the backend wrote into the in chunks.
+    written: int = 0

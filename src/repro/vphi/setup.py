@@ -1,0 +1,78 @@
+"""vPHI installation: wire frontend + backend into a VM.
+
+``install_vphi(machine, vm)`` does what deploying the paper's artifact
+does: instantiate the virtio device, insmod the frontend into the guest
+kernel, plug the backend into the VM's QEMU, and replicate the host's mic
+sysfs tree inside the guest (so Intel's tools run unmodified, §III
+*Implementation details*).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..scif import NativeScif
+from ..sim import SimError
+from ..virtio import VirtioDevice
+from .backend import VPhiBackend
+from .config import VPhiConfig
+from .frontend import VPhiFrontend
+from .guest_libscif import GuestScif
+
+__all__ = ["VPhiInstance", "install_vphi"]
+
+
+class VPhiInstance:
+    """One VM's installed vPHI stack."""
+
+    def __init__(self, vm, virtio: VirtioDevice, frontend: VPhiFrontend,
+                 backend: VPhiBackend, config: VPhiConfig):
+        self.vm = vm
+        self.virtio = virtio
+        self.frontend = frontend
+        self.backend = backend
+        self.config = config
+
+    def libscif(self, guest_process) -> GuestScif:
+        """The guest's libscif for one guest user process."""
+        if guest_process.kernel is not self.vm.guest_kernel:
+            raise SimError(
+                f"process {guest_process.name!r} does not run in {self.vm.name}"
+            )
+        return GuestScif(self.frontend, guest_process)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<VPhiInstance {self.vm.name} {self.config.wait_mode}>"
+
+
+def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstance:
+    """Install vPHI into ``vm`` on ``machine``.  Returns the instance."""
+    if machine.kernel.scif_node is None:
+        raise SimError("machine not booted: no host SCIF node")
+    config = config or VPhiConfig()
+    virtio = VirtioDevice(
+        machine.sim, name=f"{vm.name}-virtio-vphi", guest_domain=vm.domain,
+        suppress_notifications=config.suppress_notifications,
+    )
+    # the backend's libscif runs in the QEMU host process — one SCIF
+    # context per VM, which is what makes card sharing "just processes".
+    lib = NativeScif(
+        machine.fabric, machine.kernel.scif_node, vm.qemu_process,
+        host_params=machine.host_params,
+    )
+    # each frontend gets its own tracer so per-VM breakdowns don't mix
+    frontend = VPhiFrontend(
+        vm, virtio, config=config, host_params=machine.host_params,
+    )
+    frontend.tracer.bind_clock(lambda: machine.sim.now)
+    backend = VPhiBackend(
+        vm, virtio, lib, machine.kernel, config=config, tracer=machine.tracer
+    )
+    # replicate the host's mic sysfs inside the guest (live passthrough)
+    for path, _ in machine.kernel.sysfs.walk():
+        vm.guest_kernel.sysfs.publish(
+            path, (lambda p=path: machine.kernel.sysfs.read(p))
+        )
+    instance = VPhiInstance(vm, virtio, frontend, backend, config)
+    vm.vphi = instance
+    return instance

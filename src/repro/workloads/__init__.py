@@ -1,0 +1,41 @@
+"""Workloads: the paper's microbenchmarks, dgemm, and offload kernels."""
+
+from .dgemm import (
+    DGEMM_BINARY,
+    MKL_EFFICIENCY,
+    VERIFY_MAX_N,
+    dgemm_flops,
+    input_bytes,
+    problem_size_for_input_bytes,
+)
+from .microbench import (
+    ClientContext,
+    rma_read_throughput,
+    run_measurement,
+    sendrecv_latency,
+)
+from .offload import (
+    OFFLOAD_FUNCTIONS,
+    lookup_offload_function,
+    register_offload_function,
+)
+from .stream import STREAM_BINARY, STREAM_EFFICIENCY, stream_triad_time
+
+__all__ = [
+    "ClientContext",
+    "DGEMM_BINARY",
+    "MKL_EFFICIENCY",
+    "OFFLOAD_FUNCTIONS",
+    "VERIFY_MAX_N",
+    "dgemm_flops",
+    "input_bytes",
+    "lookup_offload_function",
+    "problem_size_for_input_bytes",
+    "register_offload_function",
+    "rma_read_throughput",
+    "run_measurement",
+    "sendrecv_latency",
+    "STREAM_BINARY",
+    "STREAM_EFFICIENCY",
+    "stream_triad_time",
+]

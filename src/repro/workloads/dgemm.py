@@ -1,0 +1,118 @@
+"""The dgemm workload: Intel's cblas_dgemm sample on the card (§IV-C).
+
+Two halves:
+
+* a **performance model** — MKL dgemm on Knights Corner runs at a
+  workload efficiency of ~80 % of whatever the thread placement achieves
+  (:func:`repro.uos.placement_throughput`), so the card-side compute time
+  is ``2*m*n*k / (placement * MKL_EFFICIENCY)``; and
+* a **numerical kernel** — for small problems the matrices are actually
+  materialized in GDDR and multiplied with numpy, so the launch path is
+  verified to produce *correct* results, not just plausible timings.
+
+The ``dgemm`` MIC binary registered here is what ``micnativeloadex``
+launches in the Figs 6-8 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem import page_align_up
+from ..mpss.binaries import MB, MICBinary, SharedLibrary, register_binary
+
+__all__ = [
+    "MKL_EFFICIENCY",
+    "VERIFY_MAX_N",
+    "dgemm_flops",
+    "input_bytes",
+    "problem_size_for_input_bytes",
+    "DGEMM_BINARY",
+]
+
+#: fraction of placement throughput MKL dgemm sustains on KNC.
+MKL_EFFICIENCY = 0.80
+
+#: problems up to this N are numerically verified on the simulated card.
+VERIFY_MAX_N = 256
+
+
+def dgemm_flops(m: int, n: int, k: int) -> float:
+    """Multiply-add count of C = alpha*A@B + beta*C."""
+    return 2.0 * m * n * k
+
+
+def input_bytes(n: int) -> int:
+    """Total size of the two square input arrays (the Figs 6-8 x-axis)."""
+    return 2 * n * n * 8
+
+
+def problem_size_for_input_bytes(nbytes: int) -> int:
+    """Inverse of :func:`input_bytes` (rounded down)."""
+    return int((nbytes / 16) ** 0.5)
+
+
+def _dgemm_entry(uos, proc, argv, env):
+    """Entry point of the ``dgemm`` MIC executable.
+
+    argv: ``[N, threads]`` (strings, like a real argv).  Returns the exit
+    record: status, the modelled compute seconds, and — for small N — a
+    checksum of the numerically computed C for verification.
+    """
+    n = int(argv[0]) if argv else 1024
+    threads = int(argv[1]) if len(argv) > 1 else uos.device.sku.usable_cores
+    flops = dgemm_flops(n, n, n)
+    t0 = uos.sim.now
+    job = yield from uos.run_compute(
+        flops, threads=threads, efficiency=MKL_EFFICIENCY, name=f"dgemm-n{n}"
+    )
+    compute_time = uos.sim.now - t0
+    record = {
+        "status": 0,
+        "n": n,
+        "threads": threads,
+        "flops": flops,
+        "compute_time": compute_time,
+    }
+    if n <= VERIFY_MAX_N:
+        # materialize A, B in GDDR, multiply for real, write C back
+        nbytes = n * n * 8
+        a_ext = uos.phys.alloc(page_align_up(nbytes), label="dgemm-A")
+        b_ext = uos.phys.alloc(page_align_up(nbytes), label="dgemm-B")
+        c_ext = uos.phys.alloc(page_align_up(nbytes), label="dgemm-C")
+        try:
+            rng = np.random.default_rng(n)
+            a = rng.standard_normal((n, n))
+            b = rng.standard_normal((n, n))
+            a_ext.write(a.tobytes())
+            b_ext.write(b.tobytes())
+            a_back = np.frombuffer(a_ext.read(0, nbytes).tobytes(), dtype=np.float64).reshape(n, n)
+            b_back = np.frombuffer(b_ext.read(0, nbytes).tobytes(), dtype=np.float64).reshape(n, n)
+            c = a_back @ b_back
+            c_ext.write(c.tobytes())
+            record["c_checksum"] = float(np.abs(c).sum())
+            record["c_expected"] = float(np.abs(a @ b).sum())
+        finally:
+            a_ext.free()
+            b_ext.free()
+            c_ext.free()
+    return record
+
+
+#: the dgemm sample: a small executable plus the MKL/OpenMP runtime it
+#: drags across the PCIe bus at every launch — the "sizable binaries
+#: (libraries/executables)" of §IV-C.
+DGEMM_BINARY = register_binary(
+    MICBinary(
+        name="dgemm",
+        size=1 * MB,
+        entry=_dgemm_entry,
+        deps=(
+            SharedLibrary("libmkl_core.so", 60 * MB),
+            SharedLibrary("libmkl_intel_lp64.so", 30 * MB),
+            SharedLibrary("libmkl_thread.so", 24 * MB),
+            SharedLibrary("libiomp5.so", 2 * MB),
+            SharedLibrary("libc.so.6", 2 * MB),
+        ),
+    )
+)

@@ -1,0 +1,72 @@
+"""Offload-mode kernels invoked through COI ``run_function``.
+
+The paper evaluates native mode only but vPHI "supports all three modes,
+since all of them utilize SCIF as the transport layer" (§II-A).  These
+kernels + :mod:`repro.coi` demonstrate offload mode working over vPHI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .dgemm import MKL_EFFICIENCY, dgemm_flops
+
+__all__ = ["register_offload_function", "lookup_offload_function", "OFFLOAD_FUNCTIONS"]
+
+OFFLOAD_FUNCTIONS: dict[str, Callable] = {}
+
+
+def register_offload_function(name: str):
+    def deco(fn: Callable) -> Callable:
+        OFFLOAD_FUNCTIONS[name] = fn
+        return fn
+
+    return deco
+
+
+def lookup_offload_function(name: str) -> Optional[Callable]:
+    return OFFLOAD_FUNCTIONS.get(name)
+
+
+@register_offload_function("vector_scale")
+def vector_scale(uos, buffers, args):
+    """y = alpha * x, elementwise over one float64 COI buffer, in place."""
+    (buf,) = buffers
+    alpha = float(args.get("alpha", 2.0))
+    n = args["n"]
+    flops = float(n)
+    yield from uos.run_compute(flops, threads=args.get("threads", 56),
+                               efficiency=0.3, name="vector_scale")
+    x = np.frombuffer(buf.read(0, n * 8).tobytes(), dtype=np.float64)
+    buf.write((alpha * x).tobytes())
+    return {"n": n, "alpha": alpha}
+
+
+@register_offload_function("dgemm_offload")
+def dgemm_offload(uos, buffers, args):
+    """C = A @ B over three float64 COI buffers (row-major square)."""
+    a_buf, b_buf, c_buf = buffers
+    n = args["n"]
+    threads = args.get("threads", 224)
+    yield from uos.run_compute(
+        dgemm_flops(n, n, n), threads=threads, efficiency=MKL_EFFICIENCY,
+        name=f"offload-dgemm-{n}",
+    )
+    a = np.frombuffer(a_buf.read(0, n * n * 8).tobytes(), dtype=np.float64).reshape(n, n)
+    b = np.frombuffer(b_buf.read(0, n * n * 8).tobytes(), dtype=np.float64).reshape(n, n)
+    c = a @ b
+    c_buf.write(c.tobytes())
+    return {"n": n, "threads": threads, "checksum": float(np.abs(c).sum())}
+
+
+@register_offload_function("reduce_sum")
+def reduce_sum(uos, buffers, args):
+    """Sum-reduce one float64 buffer; returns the scalar."""
+    (buf,) = buffers
+    n = args["n"]
+    yield from uos.run_compute(float(n), threads=args.get("threads", 56),
+                               efficiency=0.25, name="reduce_sum")
+    x = np.frombuffer(buf.read(0, n * 8).tobytes(), dtype=np.float64)
+    return {"sum": float(x.sum())}

@@ -1,0 +1,95 @@
+"""STREAM triad on the card: the memory-bandwidth-bound counterweight to
+dgemm's compute-bound profile.
+
+The paper's §IV-C argument — launch overhead amortizes when the card does
+real work — holds for bandwidth-bound kernels too, but with a different
+denominator: STREAM runtime scales with *bytes*, not flops.  The
+``stream`` MIC binary registered here lets the dgemm experiments be
+re-run against a kernel with the opposite roofline corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem import page_align_up
+from ..mpss.binaries import MB, MICBinary, SharedLibrary, register_binary
+
+__all__ = ["STREAM_BINARY", "stream_triad_time", "STREAM_EFFICIENCY"]
+
+#: fraction of the GDDR peak STREAM triad sustains on KNC (~170/240 GB/s
+#: on a 3120P with ECC on).
+STREAM_EFFICIENCY = 0.70
+
+#: triad moves 3 arrays per iteration: a[i] = b[i] + q*c[i] (2 reads + 1 write)
+_BYTES_PER_ELEMENT = 3 * 8
+#: and performs 2 flops per element
+_FLOPS_PER_ELEMENT = 2.0
+
+
+def stream_triad_time(n_elements: int, iterations: int, sku) -> float:
+    """Modelled triad runtime: bandwidth-bound on GDDR."""
+    bytes_moved = n_elements * _BYTES_PER_ELEMENT * iterations
+    return bytes_moved / (sku.gddr_bandwidth * STREAM_EFFICIENCY)
+
+
+def _stream_entry(uos, proc, argv, env):
+    """argv: [n_elements, iterations, threads]."""
+    n = int(argv[0]) if argv else 1_000_000
+    iterations = int(argv[1]) if len(argv) > 1 else 10
+    threads = int(argv[2]) if len(argv) > 2 else uos.device.sku.usable_cores
+    sku = uos.device.sku
+    # convert the bandwidth-bound time into an equivalent flops charge so
+    # the kernel flows through the same scheduler as everything else
+    target_time = stream_triad_time(n, iterations, sku)
+    from ..uos.scheduler import placement_throughput
+
+    rate = placement_throughput(threads, sku)
+    flops_equiv = target_time * rate
+    t0 = uos.sim.now
+    yield from uos.run_compute(flops_equiv, threads=threads, efficiency=1.0,
+                               name=f"stream-n{n}")
+    compute_time = uos.sim.now - t0
+    record = {
+        "status": 0,
+        "n": n,
+        "iterations": iterations,
+        "threads": threads,
+        "compute_time": compute_time,
+        "triad_gbps": n * _BYTES_PER_ELEMENT * iterations / compute_time / 1e9,
+    }
+    if n <= 65536:
+        # numerically verify one triad pass in GDDR
+        nbytes = n * 8
+        exts = [uos.phys.alloc(page_align_up(nbytes), label=f"stream-{k}")
+                for k in "abc"]
+        try:
+            rng = np.random.default_rng(n)
+            b = rng.standard_normal(n)
+            c = rng.standard_normal(n)
+            q = 3.0
+            exts[1].write(b.tobytes())
+            exts[2].write(c.tobytes())
+            b_back = np.frombuffer(exts[1].read(0, nbytes).tobytes(), dtype=np.float64)
+            c_back = np.frombuffer(exts[2].read(0, nbytes).tobytes(), dtype=np.float64)
+            a = b_back + q * c_back
+            exts[0].write(a.tobytes())
+            record["a_checksum"] = float(np.abs(a).sum())
+            record["a_expected"] = float(np.abs(b + q * c).sum())
+        finally:
+            for e in exts:
+                e.free()
+    return record
+
+
+STREAM_BINARY = register_binary(
+    MICBinary(
+        name="stream",
+        size=256 * 1024,
+        entry=_stream_entry,
+        deps=(
+            SharedLibrary("libiomp5.so", 2 * MB),
+            SharedLibrary("libc.so.6", 2 * MB),
+        ),
+    )
+)

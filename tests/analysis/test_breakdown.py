@@ -1,0 +1,44 @@
+"""The breakdown analysis reproduces §IV-B's 93% attribution from traces."""
+
+import pytest
+
+from repro import Machine
+from repro.analysis.breakdown import overhead_breakdown, render_breakdown
+from repro.sim import us
+from repro.workloads import ClientContext, sendrecv_latency
+
+
+@pytest.fixture(scope="module")
+def loaded_frontend():
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    sendrecv_latency(machine, ClientContext.guest(vm), [1, 1, 1, 1])
+    return vm.vphi.frontend
+
+
+def test_wait_scheme_dominates_at_93_percent(loaded_frontend):
+    shares = overhead_breakdown(loaded_frontend)
+    top = shares[0]
+    assert top.phase == "sleep/wake-up scheme"
+    assert top.share_of_overhead == pytest.approx(0.93, abs=0.01)
+    assert top.per_request == pytest.approx(us(348.75), rel=0.01)
+
+
+def test_phases_sum_to_the_fig4_overhead(loaded_frontend):
+    shares = overhead_breakdown(loaded_frontend)
+    total = sum(p.per_request for p in shares)
+    assert total == pytest.approx(us(375), rel=0.02)
+    assert sum(p.share_of_overhead for p in shares) == pytest.approx(1.0)
+
+
+def test_render_is_readable(loaded_frontend):
+    text = render_breakdown(loaded_frontend)
+    assert "sleep/wake-up scheme" in text
+    assert "93" in text  # the paper's headline number appears
+    assert "total overhead" in text
+
+
+def test_empty_frontend_yields_nothing():
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm-quiet")
+    assert overhead_breakdown(vm.vphi.frontend) == []

@@ -1,0 +1,67 @@
+"""The calibration anchors from §IV must hold in closed form."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    CARD_3120P,
+    GBPS,
+    HOST,
+    SCIF_COSTS,
+    VPHI_COSTS,
+    predicted_native_latency,
+    predicted_native_rma_time,
+    predicted_vphi_latency,
+    predicted_vphi_rma_time,
+)
+from repro.sim import US
+
+
+def test_native_one_byte_latency_is_7us():
+    assert SCIF_COSTS.one_byte_latency == pytest.approx(7 * US)
+    assert predicted_native_latency(1) == pytest.approx(7 * US, rel=0.01)
+
+
+def test_vphi_one_byte_latency_is_382us():
+    assert predicted_vphi_latency(1) == pytest.approx(382 * US, rel=0.005)
+
+
+def test_vphi_overhead_is_375us():
+    overhead = predicted_vphi_latency(1) - predicted_native_latency(1)
+    assert overhead == pytest.approx(375 * US, rel=0.005)
+
+
+def test_wait_scheme_is_93_percent_of_overhead():
+    assert VPHI_COSTS.wait_scheme_share == pytest.approx(0.93, abs=0.005)
+
+
+def test_latency_offset_constant_across_sizes():
+    """Fig 4: the native->vPHI gap stays (nearly) constant as size grows."""
+    gaps = [
+        predicted_vphi_latency(n) - predicted_native_latency(n)
+        for n in (1, 64, 1024, 65536)
+    ]
+    assert max(gaps) - min(gaps) < 0.05 * gaps[0]  # <5% drift
+
+
+def test_native_rma_peak_is_6_4_gbps():
+    size = 256 << 20
+    bw = size / predicted_native_rma_time(size)
+    assert bw == pytest.approx(6.4 * GBPS, rel=0.01)
+
+
+def test_vphi_rma_peak_is_72_percent():
+    size = 256 << 20
+    native = size / predicted_native_rma_time(size)
+    vphi = size / predicted_vphi_rma_time(size)
+    assert vphi / native == pytest.approx(0.72, abs=0.015)
+    assert vphi == pytest.approx(4.6 * GBPS, rel=0.02)
+
+
+def test_card_peak_dp_is_about_1_tflop():
+    assert CARD_3120P.peak_dp_flops == pytest.approx(1.003e12, rel=0.01)
+    assert CARD_3120P.usable_cores == 56
+
+
+def test_host_memcpy_bandwidth_sane():
+    # must exceed the PCIe link or the bounce copy would dominate transfers
+    assert HOST.memcpy_bandwidth > SCIF_COSTS.rma_bandwidth

@@ -1,0 +1,35 @@
+"""Figure-data API: the dgemm series generator and CSV round trips."""
+
+import pytest
+
+from repro.analysis import fig678_dgemm, to_csv
+from repro.workloads import input_bytes
+
+
+@pytest.fixture(scope="module")
+def series():
+    return fig678_dgemm(threads=112, problem_sizes=[256, 512])
+
+
+def test_dgemm_series_columns(series):
+    assert series.columns == [
+        "n", "input_bytes", "native_total_s", "vphi_total_s", "compute_s"
+    ]
+    assert series.column("n") == [256, 512]
+    assert series.column("input_bytes") == [input_bytes(256), input_bytes(512)]
+
+
+def test_dgemm_series_shape(series):
+    natives = series.column("native_total_s")
+    vphis = series.column("vphi_total_s")
+    for nat, vp in zip(natives, vphis):
+        assert vp > nat  # vPHI always costs something
+    # bigger problems take longer
+    assert natives[1] > natives[0]
+
+
+def test_dgemm_series_csv(series):
+    csv = to_csv(series)
+    lines = csv.strip().split("\n")
+    assert lines[0].startswith("n,input_bytes")
+    assert len(lines) == 3

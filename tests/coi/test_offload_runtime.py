@@ -1,0 +1,126 @@
+"""OffloadRuntime: the pragma-offload-style API over COI pipelines."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.coi import COIError, In, InOut, OffloadRuntime, Out, start_coi_daemon
+from repro.workloads import ClientContext
+
+
+@pytest.fixture
+def machine():
+    m = Machine(cards=1).boot()
+    start_coi_daemon(m, card=0)
+    return m
+
+
+def run(machine, gen, spawn=None):
+    p = (spawn or machine.sim.spawn)(gen)
+    machine.run()
+    return p.value
+
+
+def test_offload_dgemm_with_out_array(machine):
+    ctx = ClientContext.native(machine)
+    n = 48
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        yield from rt.open()
+        result, (c,) = yield from rt.run(
+            "dgemm_offload",
+            [In(a), In(b), Out((n, n))],
+            args={"n": n, "threads": 56},
+        )
+        yield from rt.close()
+        return result, c
+
+    result, c = run(machine, body())
+    assert np.allclose(c, a @ b)
+    assert result["n"] == n
+
+
+def test_offload_inout_array(machine):
+    ctx = ClientContext.native(machine)
+    x = np.arange(500, dtype=np.float64)
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        yield from rt.open()
+        _, (scaled,) = yield from rt.run(
+            "vector_scale", [InOut(x)], args={"n": len(x), "alpha": 5.0}
+        )
+        yield from rt.close()
+        return scaled
+
+    scaled = run(machine, body())
+    assert np.allclose(scaled, 5.0 * x)
+
+
+def test_sequential_offloads_reuse_runtime(machine):
+    ctx = ClientContext.native(machine)
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        yield from rt.open()
+        sums = []
+        for k in range(3):
+            x = np.full(100, float(k + 1))
+            result, _ = yield from rt.run(
+                "reduce_sum", [In(x)], args={"n": 100}
+            )
+            sums.append(result["sum"])
+        yield from rt.close()
+        return sums, rt.offloads
+
+    sums, offloads = run(machine, body())
+    assert sums == [100.0, 200.0, 300.0]
+    assert offloads == 3
+
+
+def test_offload_from_vm(machine):
+    """The runtime is stack-agnostic: a guest offloads through vPHI."""
+    vm = machine.create_vm("vm0")
+    ctx = ClientContext.guest(vm)
+    x = np.ones(256, dtype=np.float64)
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        yield from rt.open()
+        result, _ = yield from rt.run("reduce_sum", [In(x)], args={"n": 256})
+        yield from rt.close()
+        return result["sum"]
+
+    total = run(machine, body(), spawn=ctx.spawn)
+    assert total == 256.0
+    assert vm.vphi.frontend.requests > 0
+
+
+def test_unopened_runtime_rejected(machine):
+    ctx = ClientContext.native(machine)
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        with pytest.raises(COIError):
+            yield from rt.run("reduce_sum", [In(np.ones(4))], args={"n": 4})
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_bad_spec_rejected(machine):
+    ctx = ClientContext.native(machine)
+
+    def body():
+        rt = OffloadRuntime(ctx, machine)
+        yield from rt.open()
+        with pytest.raises(COIError):
+            yield from rt.run("reduce_sum", ["not-a-spec"], args={})
+        yield from rt.close()
+        return True
+
+    assert run(machine, body()) is True

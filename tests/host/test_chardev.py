@@ -1,0 +1,214 @@
+"""/dev/mic/scif char device: open/ioctl/mmap/poll dispatch (§II-B).
+
+libscif reaches the driver through this fd layer; the vPHI backend is
+"just another" user of it.  These tests drive the full ioctl surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.host import IoctlRequest, ScifIoctl
+from repro.scif import EBADF, EINVAL, PollEvent, Prot
+from repro.sim import ms
+
+PORT = 4000
+MB = 1 << 20
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+def run(machine, gen):
+    p = machine.sim.spawn(gen)
+    machine.run()
+    return p.value
+
+
+def test_open_installs_fd_with_endpoint(machine):
+    proc = machine.host_process("app")
+
+    def body():
+        fd, f = yield from machine.kernel.scif_dev.open(proc)
+        return fd, f
+
+    fd, f = run(machine, body())
+    assert proc.fds[fd] is f
+    assert f.endpoint is not None
+    assert machine.kernel.scif_dev.opens == 1
+
+
+def test_ioctl_bind_listen_accept_returns_new_fd(machine):
+    sproc = machine.card_process("server")
+    # card-side server over the raw API
+    slib = machine.scif(sproc)
+    hproc = machine.host_process("client")
+
+    def server():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        yield from f.ioctl(IoctlRequest(ScifIoctl.BIND, port=PORT))
+        yield from f.ioctl(IoctlRequest(ScifIoctl.LISTEN))
+        newfd, peer = yield from f.ioctl(IoctlRequest(ScifIoctl.ACCEPTREQ))
+        newfile = hproc.fds[newfd]
+        data = yield from newfile.ioctl(IoctlRequest(ScifIoctl.RECV, nbytes=5))
+        return newfd, peer, data.tobytes()
+
+    def client():
+        ep = yield from slib.open()
+        yield from slib.connect(ep, (0, PORT))
+        yield from slib.send(ep, b"hello")
+
+    s = machine.sim.spawn(server())
+    machine.sim.spawn(client())
+    machine.run()
+    newfd, peer, data = s.value
+    assert data == b"hello"
+    assert newfd in hproc.fds
+    assert peer[0] == machine.card_node_id(0)
+
+
+def test_ioctl_send_recv_roundtrip(machine):
+    hproc = machine.host_process("client")
+    sproc = machine.card_process("server")
+    slib = machine.scif(sproc)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        data = yield from slib.recv(conn, 3)
+        yield from slib.send(conn, data.tobytes().upper())
+
+    def client():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        yield from f.ioctl(IoctlRequest(ScifIoctl.CONNECT,
+                                        addr=(machine.card_node_id(0), PORT)))
+        yield from f.ioctl(IoctlRequest(ScifIoctl.SEND, payload=b"abc"))
+        data = yield from f.ioctl(IoctlRequest(ScifIoctl.RECV, nbytes=3))
+        yield from f.close()
+        return data.tobytes()
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value == b"ABC"
+
+
+def test_ioctl_register_and_rma(machine):
+    hproc = machine.host_process("client")
+    sproc = machine.card_process("server")
+    slib = machine.scif(sproc)
+    ready = machine.sim.event()
+    size = MB
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        vma = sproc.address_space.mmap(size, populate=True)
+        sproc.address_space.write(vma.start, np.full(size, 0xEE, dtype=np.uint8))
+        roff = yield from slib.register(conn, vma.start, size)
+        ready.succeed(roff)
+        yield from slib.recv(conn, 1)
+
+    def client():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        yield from f.ioctl(IoctlRequest(ScifIoctl.CONNECT,
+                                        addr=(machine.card_node_id(0), PORT)))
+        roff = yield ready
+        vma = hproc.address_space.mmap(size, populate=True)
+        n = yield from f.ioctl(IoctlRequest(
+            ScifIoctl.VREADFROM, vaddr=vma.start, nbytes=size, roffset=roff))
+        mark = yield from f.ioctl(IoctlRequest(ScifIoctl.FENCE_MARK))
+        yield from f.ioctl(IoctlRequest(ScifIoctl.FENCE_WAIT, mark=mark))
+        got = hproc.address_space.read(vma.start, 64)
+        yield from f.ioctl(IoctlRequest(ScifIoctl.SEND, payload=b"x"))
+        return n, got
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    n, got = c.value
+    assert n == size
+    assert (got == 0xEE).all()
+
+
+def test_fd_mmap_and_poll(machine):
+    hproc = machine.host_process("client")
+    sproc = machine.card_process("server")
+    slib = machine.scif(sproc)
+    ready = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        vma = sproc.address_space.mmap(4096, populate=True)
+        sproc.address_space.write(vma.start, b"window-data")
+        roff = yield from slib.register(conn, vma.start, 4096)
+        ready.succeed(roff)
+        yield machine.sim.timeout(ms(1))
+        yield from slib.send(conn, b"ping")
+        yield from slib.recv(conn, 1)
+
+    def client():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        yield from f.ioctl(IoctlRequest(ScifIoctl.CONNECT,
+                                        addr=(machine.card_node_id(0), PORT)))
+        roff = yield ready
+        vma = yield from f.mmap(roff, 4096, Prot.SCIF_PROT_READ)
+        window = hproc.address_space.read(vma.start, 11)
+        revents = yield from f.poll(PollEvent.SCIF_POLLIN)
+        data = yield from f.ioctl(IoctlRequest(ScifIoctl.RECV, nbytes=4))
+        yield from f.ioctl(IoctlRequest(ScifIoctl.SEND, payload=b"x"))
+        return window.tobytes(), bool(revents & PollEvent.SCIF_POLLIN), data.tobytes()
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    window, pollin, data = c.value
+    assert window == b"window-data"
+    assert pollin
+    assert data == b"ping"
+
+
+def test_get_node_ids_ioctl(machine):
+    hproc = machine.host_process("app")
+
+    def body():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        ids = yield from f.ioctl(IoctlRequest(ScifIoctl.GET_NODE_IDS))
+        return ids
+
+    assert run(machine, body()) == ([0, 1], 0)
+
+
+def test_closed_fd_rejected(machine):
+    hproc = machine.host_process("app")
+
+    def body():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        yield from f.close()
+        with pytest.raises(EBADF):
+            yield from f.ioctl(IoctlRequest(ScifIoctl.BIND, port=PORT))
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_unknown_ioctl_rejected(machine):
+    hproc = machine.host_process("app")
+
+    def body():
+        fd, f = yield from machine.kernel.scif_dev.open(hproc)
+        req = IoctlRequest(ScifIoctl.CONNECT)  # missing addr
+        with pytest.raises(EINVAL):
+            yield from f.ioctl(req)
+        return True
+
+    assert run(machine, body()) is True

@@ -1,0 +1,276 @@
+"""Cross-stack integration: multi-card, mixed workloads, lifecycles."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.coi import start_coi_daemon
+from repro.mpss import micnativeloadex
+from repro.scif import ECONNREFUSED, ECONNRESET, ScifError
+from repro.workloads import (
+    ClientContext,
+    DGEMM_BINARY,
+    rma_read_throughput,
+    sendrecv_latency,
+)
+
+MB = 1 << 20
+PORT = 7000
+
+
+def test_one_vm_drives_two_cards(two_cards=None):
+    """A single guest talks to both coprocessors in the box."""
+    machine = Machine(cards=2).boot()
+    vm = machine.create_vm("vm0")
+    glib = vm.vphi.libscif(vm.guest_process("app"))
+    echoes = {}
+
+    def card_server(card):
+        slib = machine.scif(machine.card_process(f"srv{card}", card=card))
+
+        def server():
+            ep = yield from slib.open()
+            yield from slib.bind(ep, PORT)
+            yield from slib.listen(ep)
+            conn, _ = yield from slib.accept(ep)
+            data = yield from slib.recv(conn, 5)
+            yield from slib.send(conn, f"mic{card}".encode())
+
+        machine.sim.spawn(server())
+
+    card_server(0)
+    card_server(1)
+
+    def client():
+        for card in (0, 1):
+            ep = yield from glib.open()
+            yield from glib.connect(ep, (machine.card_node_id(card), PORT))
+            yield from glib.send(ep, b"hello")
+            resp = yield from glib.recv(ep, 4)
+            echoes[card] = resp.tobytes()
+            yield from glib.close(ep)
+
+    vm.spawn_guest(client())
+    machine.run()
+    assert echoes == {0: b"mic0", 1: b"mic1"}
+
+
+def test_mixed_concurrent_workloads():
+    """dgemm launch from VM1 + RMA sweep from VM2 + native latency on the
+    host, all interleaved on one card — nothing corrupts, all complete."""
+    machine = Machine(cards=1).boot()
+    start_coi_daemon(machine, card=0)
+    vm1 = machine.create_vm("vm1")
+    vm2 = machine.create_vm("vm2")
+
+    ctx1 = ClientContext.guest(vm1, "loader")
+    dgemm_p = ctx1.spawn(
+        micnativeloadex(machine, ctx1, DGEMM_BINARY, argv=["128", "112"])
+    )
+    # note: these run the sim inside, interleaving everything above
+    rma = rma_read_throughput(machine, ClientContext.guest(vm2, "reader"), [8 * MB])
+    lat = sendrecv_latency(machine, ClientContext.native(machine, "pinger"), [1])
+    machine.run()
+
+    res = dgemm_p.value
+    assert res.status == 0
+    assert res.exit_record["c_checksum"] == pytest.approx(res.exit_record["c_expected"])
+    assert rma[0][1] > 1e9
+    # native latency unchanged by the surrounding noise (control path is
+    # not contended in this scenario)
+    assert lat[0][1] == pytest.approx(7e-6, rel=0.05)
+
+
+def test_guest_oom_propagates_cleanly():
+    """A vreadfrom bigger than guest RAM fails with ENOMEM-ish error and
+    leaks nothing."""
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm-small", ram_bytes=64 * MB)
+    gproc = vm.guest_process("app")
+    glib = vm.vphi.libscif(gproc)
+    card_node = machine.card_node_id(0)
+    sproc = machine.card_process("srv")
+    slib = machine.scif(sproc)
+    ready = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        vma = sproc.address_space.mmap(MB, populate=True)
+        roff = yield from slib.register(conn, vma.start, MB)
+        ready.succeed(roff)
+        yield from slib.recv(conn, 1)
+
+    def client():
+        ep = yield from glib.open()
+        yield from glib.connect(ep, (card_node, PORT))
+        roff = yield ready
+        vma = gproc.address_space.mmap(4 * MB, populate=True)
+        # exhaust guest kernel memory: grab every last contiguous page
+        from repro.mem import MemError
+
+        hogs = []
+        while True:
+            try:
+                hogs.append(vm.guest_kernel.kmalloc.kmalloc(4096, label="hog"))
+            except MemError:
+                break
+        failed = False
+        try:
+            yield from glib.vreadfrom(ep, vma.start, MB, roff)
+        except MemError:
+            failed = True
+        for h in hogs:
+            vm.guest_kernel.kmalloc.kfree(h)
+        # after freeing the hogs the same call succeeds
+        yield from glib.vreadfrom(ep, vma.start, MB, roff)
+        yield from glib.send(ep, b"x")
+        return failed
+
+    machine.sim.spawn(server())
+    c = vm.spawn_guest(client())
+    machine.run()
+    assert c.value is True
+    assert vm.guest_kernel.kmalloc.live == 0
+
+
+def test_registered_guest_pages_survive_swap_pressure():
+    """§III's pinning rationale at the vPHI level: pages under a guest
+    window refuse to swap, so a later card write lands in valid frames."""
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    gproc = vm.guest_process("app")
+    glib = vm.vphi.libscif(gproc)
+    card_node = machine.card_node_id(0)
+    sproc = machine.card_process("srv")
+    slib = machine.scif(sproc)
+    goff_box = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        goff = yield goff_box
+        svma = sproc.address_space.mmap(MB, populate=True)
+        sproc.address_space.write(svma.start, np.full(MB, 0x3D, dtype=np.uint8))
+        loff = yield from slib.register(conn, svma.start, MB)
+        yield from slib.writeto(conn, loff, MB, goff)
+        yield from slib.send(conn, b"done")
+
+    def client():
+        ep = yield from glib.open()
+        yield from glib.connect(ep, (card_node, PORT))
+        vma = gproc.address_space.mmap(MB)
+        gproc.address_space.write(vma.start, np.zeros(MB, dtype=np.uint8))
+        goff = yield from glib.register(ep, vma.start, MB)
+        # guest memory pressure: the kernel tries to evict these pages
+        evicted = sum(
+            gproc.address_space.swap_out(vma.start + i * 4096) for i in range(256)
+        )
+        goff_box.succeed(goff)
+        yield from glib.recv(ep, 4)
+        data = gproc.address_space.read(vma.start, MB)
+        return evicted, data
+
+    machine.sim.spawn(server())
+    c = vm.spawn_guest(client())
+    machine.run()
+    evicted, data = c.value
+    assert evicted == 0  # every page pinned: kernel could evict none
+    assert (data == 0x3D).all()  # the remote write landed intact
+
+
+def test_card_reset_resets_connections():
+    """Yanking the card mid-flight: host- and guest-side endpoints see
+    connection resets; new connections are refused until reboot."""
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    glib = vm.vphi.libscif(vm.guest_process("app"))
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("srv"))
+    connected = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        connected.succeed()
+        try:
+            yield from slib.recv(conn, 10)
+        except ScifError:
+            pass
+
+    def crasher():
+        yield connected
+        yield machine.sim.timeout(1e-4)
+        machine.fabric.node(card_node).reset()
+
+    def client():
+        ep = yield from glib.open()
+        yield from glib.connect(ep, (card_node, PORT))
+        with pytest.raises(ECONNRESET):
+            yield from glib.recv(ep, 10)  # blocks until the reset hits
+        # reconnect attempts are refused: the listener died in the reset
+        ep2 = yield from glib.open()
+        with pytest.raises(ECONNREFUSED):
+            yield from glib.connect(ep2, (card_node, PORT))
+        return True
+
+    machine.sim.spawn(server())
+    machine.sim.spawn(crasher())
+    c = vm.spawn_guest(client())
+    machine.run()
+    assert c.value is True
+
+
+def test_many_sequential_vm_sessions_leak_nothing():
+    """Open/use/close loops across the ring must not leak guest kmalloc,
+    descriptors, pins or host endpoints."""
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("srv"))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        while True:
+            try:
+                conn, _ = yield from slib.accept(ep)
+            except ScifError:
+                return
+            machine.sim.spawn(echo(conn))
+
+    def echo(conn):
+        try:
+            data = yield from slib.recv(conn, 8)
+            yield from slib.send(conn, data)
+        except ScifError:
+            pass
+
+    machine.sim.spawn(server())
+    gproc = vm.guest_process("app")
+    glib = vm.vphi.libscif(gproc)
+
+    def client():
+        for i in range(20):
+            ep = yield from glib.open()
+            yield from glib.connect(ep, (card_node, PORT))
+            yield from glib.send(ep, f"msg-{i:04d}".encode())
+            resp = yield from glib.recv(ep, 8)
+            assert resp.tobytes() == f"msg-{i:04d}".encode()
+            yield from glib.close(ep)
+        return True
+
+    c = vm.spawn_guest(client())
+    machine.run(until=machine.sim.now + 5.0)
+    assert c.value is True
+    assert vm.guest_kernel.kmalloc.live == 0
+    assert vm.vphi.virtio.ring.num_free == vm.vphi.virtio.ring.size
+    assert vm.vphi.backend.endpoints == {}
+    assert gproc.address_space.pinned_pages() == 0

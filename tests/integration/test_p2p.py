@@ -1,0 +1,91 @@
+"""Card-to-card (peer-to-peer) SCIF: RMA between two coprocessors."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+
+MB = 1 << 20
+PORT = 9500
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=2).boot()
+
+
+def test_card_to_card_rma_moves_gddr_to_gddr(machine):
+    """mic0 pulls a window from mic1: the bytes cross both PCIe links."""
+    n1 = machine.card_node_id(0)
+    n2 = machine.card_node_id(1)
+    size = 8 * MB
+
+    sproc = machine.card_process("srv", card=1)
+    slib = machine.scif(sproc)
+    ready = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        vma = sproc.address_space.mmap(size, populate=True)
+        sproc.address_space.write(vma.start, np.full(size, 0x9C, dtype=np.uint8))
+        roff = yield from slib.register(conn, vma.start, size)
+        ready.succeed(roff)
+        yield from slib.recv(conn, 1)
+
+    cproc = machine.card_process("cli", card=0)
+    clib = machine.scif(cproc)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (n2, PORT))
+        roff = yield ready
+        vma = cproc.address_space.mmap(size, populate=True)
+        t0 = machine.sim.now
+        yield from clib.vreadfrom(ep, vma.start, size, roff)
+        dt = machine.sim.now - t0
+        got = cproc.address_space.read(vma.start, 4096)
+        yield from clib.send(ep, b"x")
+        return size / dt, got
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    bw, got = c.value
+    assert (got == 0x9C).all()
+    # the data landed in mic0's GDDR, sourced from mic1's
+    assert cproc.address_space.phys is machine.devices[0].gddr
+    assert sproc.address_space.phys is machine.devices[1].gddr
+    # P2P pays the doubled hop latency but still runs at DMA rate
+    assert bw > 3e9
+
+
+def test_p2p_control_latency_doubles(machine):
+    """Small messages between cards cross two links: ~2x the host-card
+    one-way latency at each hop."""
+    n2 = machine.card_node_id(1)
+    slib = machine.scif(machine.card_process("s", card=1))
+    clib = machine.scif(machine.card_process("c", card=0))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        yield from slib.recv(conn, 1)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (n2, PORT))
+        t0 = machine.sim.now
+        yield from clib.send(ep, b"\x01")
+        return machine.sim.now - t0
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    # native host->card is 7us; card->card adds 2us per extra link
+    # crossing on each of the two wire hops: 7 + 2*2 = 11us
+    assert c.value == pytest.approx(11e-6, rel=0.05)

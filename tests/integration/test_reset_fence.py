@@ -1,0 +1,192 @@
+"""Card reset/reboot lifecycle + scif_fence_signal end to end."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.phi import DeviceState
+from repro.scif import ECONNREFUSED, ScifError
+from repro.workloads import ClientContext
+
+MB = 1 << 20
+PORT = 9100
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+class TestResetLifecycle:
+    def test_reboot_restores_service(self, machine):
+        card_node = machine.card_node_id(0)
+
+        def card_server(tag):
+            slib = machine.scif(machine.card_process(f"srv-{tag}"))
+
+            def server():
+                ep = yield from slib.open()
+                yield from slib.bind(ep, PORT)
+                yield from slib.listen(ep)
+                conn, _ = yield from slib.accept(ep)
+                data = yield from slib.recv(conn, 4)
+                yield from slib.send(conn, tag.encode())
+
+            machine.sim.spawn(server())
+
+        hlib = machine.scif(machine.host_process("client"))
+        states = []
+
+        def scenario():
+            card_server("gen1")
+            ep = yield from hlib.open()
+            yield from hlib.connect(ep, (card_node, PORT))
+            yield from hlib.send(ep, b"ping")
+            r1 = yield from hlib.recv(ep, 4)
+            # --- crash + reboot ---
+            states.append(machine.devices[0].state)
+            yield from machine.reboot_card(0)
+            states.append(machine.devices[0].state)
+            # old endpoint is dead
+            dead = False
+            try:
+                yield from hlib.send(ep, b"ping")
+            except ScifError:
+                dead = True
+            # connecting before a server re-registers is refused
+            ep2 = yield from hlib.open()
+            with pytest.raises(ECONNREFUSED):
+                yield from hlib.connect(ep2, (card_node, PORT))
+            # a fresh server generation works again
+            card_server("gen2")
+            yield machine.sim.timeout(1e-3)
+            ep3 = yield from hlib.open()
+            yield from hlib.connect(ep3, (card_node, PORT))
+            yield from hlib.send(ep3, b"ping")
+            r2 = yield from hlib.recv(ep3, 4)
+            return r1.tobytes(), dead, r2.tobytes()
+
+        p = machine.sim.spawn(scenario())
+        machine.run()
+        r1, dead, r2 = p.value
+        assert r1 == b"gen1"
+        assert dead
+        assert r2 == b"gen2"
+        assert states == [DeviceState.ONLINE, DeviceState.ONLINE]
+
+    def test_sysfs_state_tracks_reset(self, machine):
+        sysfs = machine.kernel.sysfs
+
+        def scenario():
+            assert sysfs.read("sys/class/mic/mic0/state") == "online"
+            dev = machine.devices[0]
+            yield from dev.reset(machine.fabric)
+            assert sysfs.read("sys/class/mic/mic0/state") == "ready"
+            yield from dev.boot()
+            assert sysfs.read("sys/class/mic/mic0/state") == "online"
+            return True
+
+        p = machine.sim.spawn(scenario())
+        machine.run()
+        assert p.value is True
+
+
+class TestFenceSignal:
+    def _setup(self, machine, lib_ctx):
+        """Card server with a data window; returns events with offsets."""
+        sproc = machine.card_process("fsrv")
+        slib = machine.scif(sproc)
+        ready = machine.sim.event()
+
+        def server():
+            ep = yield from slib.open()
+            yield from slib.bind(ep, PORT)
+            yield from slib.listen(ep)
+            conn, _ = yield from slib.accept(ep)
+            vma = sproc.address_space.mmap(MB, populate=True)
+            sproc.address_space.write(vma.start, np.full(MB, 0x2B, dtype=np.uint8))
+            roff = yield from slib.register(conn, vma.start, MB)
+            ready.succeed(roff)
+            yield from slib.recv(conn, 1)
+
+        machine.sim.spawn(server())
+        return ready
+
+    def test_fence_signal_writes_local_flag_after_rma(self, machine):
+        """The RDMA+flag idiom: issue a read, fence_signal a local flag,
+        poll the flag from 'another thread'."""
+        ready = self._setup(machine, None)
+        hproc = machine.host_process("client")
+        hlib = machine.scif(hproc)
+
+        def client():
+            ep = yield from hlib.open()
+            yield from hlib.connect(ep, (machine.card_node_id(0), PORT))
+            roff = yield ready
+            data_vma = hproc.address_space.mmap(MB, populate=True)
+            flag_vma = hproc.address_space.mmap(4096, populate=True)
+            flag_off = yield from hlib.register(ep, flag_vma.start, 4096)
+
+            # concurrent RMA + fence_signal
+            def rma_thread():
+                yield from hlib.vreadfrom(ep, data_vma.start, MB, roff)
+
+            machine.sim.spawn(rma_thread())
+            yield machine.sim.timeout(20e-6)  # let the RMA get issued
+            yield from hlib.fence_signal(ep, flag_off, 0xDEADBEEF, None, 0)
+            flag = int.from_bytes(
+                hproc.address_space.read(flag_vma.start, 8).tobytes(), "little"
+            )
+            data_ok = bool(
+                (hproc.address_space.read(data_vma.start, 4096) == 0x2B).all()
+            )
+            yield from hlib.send(ep, b"x")
+            return flag, data_ok
+
+        p = machine.sim.spawn(client())
+        machine.run()
+        flag, data_ok = p.value
+        assert flag == 0xDEADBEEF
+        assert data_ok  # the fence ordered the flag after the data
+
+    def test_fence_signal_remote_flag_from_guest(self, machine):
+        """Through vPHI: the guest signals a remote (card-side) flag."""
+        vm = machine.create_vm("vm0")
+        sproc = machine.card_process("fsrv2")
+        slib = machine.scif(sproc)
+        ready = machine.sim.event()
+        flag_loc = {}
+
+        def server():
+            ep = yield from slib.open()
+            yield from slib.bind(ep, PORT + 1)
+            yield from slib.listen(ep)
+            conn, _ = yield from slib.accept(ep)
+            vma = sproc.address_space.mmap(MB, populate=True)
+            roff = yield from slib.register(conn, vma.start, MB)
+            flag_vma = sproc.address_space.mmap(4096, populate=True)
+            foff = yield from slib.register(conn, flag_vma.start, 4096)
+            flag_loc["vma"] = flag_vma
+            ready.succeed((roff, foff))
+            yield from slib.recv(conn, 1)
+
+        gproc = vm.guest_process("app")
+        glib = vm.vphi.libscif(gproc)
+
+        def client():
+            ep = yield from glib.open()
+            yield from glib.connect(ep, (machine.card_node_id(0), PORT + 1))
+            roff, foff = yield ready
+            vma = gproc.address_space.mmap(MB, populate=True)
+            gproc.address_space.write(vma.start, np.full(MB, 0x6A, dtype=np.uint8))
+            yield from glib.vwriteto(ep, vma.start, MB, roff)
+            yield from glib.fence_signal(ep, None, 0, foff, 0xCAFE)
+            yield from glib.send(ep, b"x")
+
+        machine.sim.spawn(server())
+        vm.spawn_guest(client())
+        machine.run()
+        flag = int.from_bytes(
+            sproc.address_space.read(flag_loc["vma"].start, 8).tobytes(), "little"
+        )
+        assert flag == 0xCAFE

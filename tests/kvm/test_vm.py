@@ -1,0 +1,204 @@
+"""VM memory slots, guest kernel, QEMU event loop, KVM fault hook."""
+
+import pytest
+
+from repro import Machine
+from repro.kvm import KvmMmu, PfnPhiInfo, VirtualMachine
+from repro.mem import (
+    PAGE_SIZE,
+    PageFault,
+    PhysicalMemory,
+    SGEntry,
+    VMAFlag,
+)
+from repro.sim import SimError, us
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+def make_vm(machine, **kw):
+    return VirtualMachine(machine.sim, machine.kernel, **kw)
+
+
+class TestMemorySlots:
+    def test_guest_ram_is_carved_from_host(self, machine):
+        free_before = machine.ram.bytes_free
+        vm = make_vm(machine, ram_bytes=GB)
+        assert machine.ram.bytes_free == free_before - GB
+        assert vm.ram.size == GB
+
+    def test_gpa_writes_visible_at_host_physical(self, machine):
+        vm = make_vm(machine)
+        vm.ram.write(0x5000, b"guest-data")
+        assert machine.ram.read(vm.slot_base + 0x5000, 10).tobytes() == b"guest-data"
+
+    def test_gpa_sg_resolves_zero_copy(self, machine):
+        vm = make_vm(machine)
+        vm.ram.write(0x2000, b"ring-buf")
+        sg = vm.gpa_sg(0x2000, 8)
+        assert len(sg) == 1
+        assert sg[0].mem.read(sg[0].paddr, 8).tobytes() == b"ring-buf"
+
+    def test_gpa_out_of_slot_rejected(self, machine):
+        vm = make_vm(machine, ram_bytes=GB)
+        with pytest.raises(SimError):
+            vm.gpa_sg(GB - 4, 8)
+
+    def test_two_vms_have_disjoint_ram(self, machine):
+        vm1 = make_vm(machine, name="vm1")
+        vm2 = make_vm(machine, name="vm2")
+        vm1.ram.write(0, b"\xAA")
+        vm2.ram.write(0, b"\xBB")
+        assert vm1.ram.read(0, 1)[0] == 0xAA
+        assert vm2.ram.read(0, 1)[0] == 0xBB
+        assert vm1.slot_base != vm2.slot_base
+
+    def test_guest_kmalloc_allocates_guest_physical(self, machine):
+        vm = make_vm(machine)
+        ext = vm.guest_kernel.kmalloc.kmalloc(64 * 1024)
+        sg = vm.extent_sg(ext)
+        assert sg[0].nbytes == 64 * 1024
+
+
+class TestQemuEventLoop:
+    def test_blocking_event_freezes_guest(self, machine):
+        vm = make_vm(machine)
+        t0 = machine.sim.now
+        hits = []
+
+        def guest_ticker():
+            yield machine.sim.timeout(us(10))
+            hits.append(("guest", machine.sim.now - t0))
+
+        def handler():
+            yield machine.sim.timeout(us(100))
+            hits.append(("handler", machine.sim.now - t0))
+
+        vm.spawn_guest(guest_ticker())
+        vm.qemu.post_event(handler, blocking=True)
+        machine.run()
+        # handler ran first even though the guest timer was earlier
+        assert hits[0][0] == "handler"
+        assert hits[1] == ("guest", pytest.approx(us(100)))
+        assert vm.domain.paused_time == pytest.approx(us(100))
+
+    def test_nonblocking_event_lets_guest_run(self, machine):
+        vm = make_vm(machine)
+        t0 = machine.sim.now
+        hits = []
+
+        def guest_ticker():
+            yield machine.sim.timeout(us(10))
+            hits.append(("guest", machine.sim.now - t0))
+
+        def handler():
+            yield machine.sim.timeout(us(100))
+            hits.append(("worker", machine.sim.now - t0))
+
+        vm.spawn_guest(guest_ticker())
+        vm.qemu.post_event(handler, blocking=False)
+        machine.run()
+        assert hits[0] == ("guest", pytest.approx(us(10)))
+        assert vm.qemu.worker_events == 1
+        assert vm.domain.paused_time == 0.0
+
+    def test_worker_spawn_cost_charged(self, machine):
+        vm = make_vm(machine)
+        t0 = machine.sim.now
+        done = []
+
+        def handler():
+            done.append(machine.sim.now - t0)
+            yield machine.sim.timeout(0)
+
+        vm.qemu.post_event(handler, blocking=False)
+        machine.run()
+        # handler starts only after the worker-spawn cost
+        assert done[0] == pytest.approx(vm.costs.worker_spawn, rel=1e-6)
+
+    def test_blocking_events_serialize(self, machine):
+        vm = make_vm(machine)
+        spans = []
+
+        def handler(tag):
+            def run():
+                t0 = machine.sim.now
+                yield machine.sim.timeout(us(50))
+                spans.append((tag, t0, machine.sim.now))
+
+            return run
+
+        vm.qemu.post_event(handler("a"), blocking=True)
+        vm.qemu.post_event(handler("b"), blocking=True)
+        machine.run()
+        (ta, a0, a1), (tb, b0, b1) = spans
+        assert b0 >= a1  # no overlap
+
+    def test_workers_run_concurrently(self, machine):
+        vm = make_vm(machine)
+
+        def handler():
+            yield machine.sim.timeout(us(500))
+
+        for _ in range(3):
+            vm.qemu.post_event(handler, blocking=False)
+        machine.run()
+        assert vm.qemu.workers_peak >= 2
+
+
+class TestKvmFault:
+    def _phi_vma(self, vm, gddr):
+        """Build a guest-process device VMA tagged PFNPHI, as the vPHI
+        frontend would after a guest scif_mmap."""
+        proc = vm.guest_process("app")
+        space = proc.address_space
+        info = PfnPhiInfo([SGEntry(gddr, 0x10000, 2 * PAGE_SIZE)])
+        vma = space.mmap(
+            2 * PAGE_SIZE,
+            flags=VMAFlag.READ | VMAFlag.WRITE | VMAFlag.DEVICE | VMAFlag.PFNPHI,
+            fault_handler=lambda v, a: vm.mmu.handle_fault(space, v, a),
+            name="vphi-mmap",
+        )
+        vma.private = info
+        return space, vma
+
+    def test_modified_kvm_resolves_to_device_memory(self, machine):
+        vm = make_vm(machine, kvm_modified=True)
+        gddr = machine.devices[0].gddr
+        gddr.write(0x10000, b"card-bytes")
+        space, vma = self._phi_vma(vm, gddr)
+        got = space.read(vma.start, 10)
+        assert got.tobytes() == b"card-bytes"
+        assert vm.mmu.pfnphi_faults == 1
+
+    def test_unmodified_kvm_faults_as_paper_describes(self, machine):
+        vm = make_vm(machine, kvm_modified=False)
+        gddr = machine.devices[0].gddr
+        space, vma = self._phi_vma(vm, gddr)
+        with pytest.raises(PageFault, match="unmodified"):
+            space.read(vma.start, 1)
+
+    def test_store_through_pfnphi_mapping_reaches_card(self, machine):
+        vm = make_vm(machine, kvm_modified=True)
+        gddr = machine.devices[0].gddr
+        space, vma = self._phi_vma(vm, gddr)
+        space.write(vma.start + PAGE_SIZE + 4, b"stored")
+        assert gddr.read(0x10000 + PAGE_SIZE + 4, 6).tobytes() == b"stored"
+
+    def test_fault_beyond_window_rejected(self, machine):
+        vm = make_vm(machine, kvm_modified=True)
+        mmu = KvmMmu("x", modified=True)
+        info = PfnPhiInfo([SGEntry(PhysicalMemory(MB), 0, PAGE_SIZE)])
+        with pytest.raises(Exception):
+            info.locate(PAGE_SIZE + 1)
+
+
+def test_vm_requires_vcpu(machine):
+    with pytest.raises(SimError):
+        make_vm(machine, vcpus=0)

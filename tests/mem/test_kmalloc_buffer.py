@@ -1,0 +1,101 @@
+"""KernelAllocator (KMALLOC_MAX_SIZE) and Buffer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import (
+    AllocTooLarge,
+    Buffer,
+    KMALLOC_MAX_SIZE,
+    KernelAllocator,
+    PhysicalMemory,
+)
+
+MB = 1 << 20
+
+
+class TestKmalloc:
+    def test_limit_is_4mb(self):
+        assert KMALLOC_MAX_SIZE == 4 * MB
+
+    def test_alloc_within_limit(self):
+        ka = KernelAllocator(PhysicalMemory(16 * MB))
+        ext = ka.kmalloc(4 * MB)
+        assert ext.nbytes == 4 * MB
+        assert ka.live == 1
+        ka.kfree(ext)
+        assert ka.live == 0
+
+    def test_alloc_above_limit_rejected(self):
+        ka = KernelAllocator(PhysicalMemory(16 * MB))
+        with pytest.raises(AllocTooLarge):
+            ka.kmalloc(4 * MB + 1)
+
+    def test_chunked_alloc_splits(self):
+        ka = KernelAllocator(PhysicalMemory(32 * MB))
+        chunks = ka.kmalloc_chunked(10 * MB)
+        assert [c.nbytes for c in chunks] == [4 * MB, 4 * MB, 2 * MB]
+        for c in chunks:
+            ka.kfree(c)
+        assert ka.live == 0
+
+    def test_chunked_alloc_rolls_back_on_oom(self):
+        ka = KernelAllocator(PhysicalMemory(6 * MB))
+        with pytest.raises(Exception):
+            ka.kmalloc_chunked(10 * MB)
+        assert ka.live == 0
+        assert ka.phys.bytes_allocated == 0
+
+    @given(st.integers(min_value=1, max_value=40 * MB))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_sizes_property(self, nbytes):
+        """Every chunk <= limit; total covers nbytes; only last is partial."""
+        ka = KernelAllocator(PhysicalMemory(64 * MB))
+        chunks = ka.kmalloc_chunked(nbytes)
+        assert all(c.nbytes <= KMALLOC_MAX_SIZE for c in chunks)
+        assert all(c.nbytes == KMALLOC_MAX_SIZE for c in chunks[:-1])
+        total = sum(c.nbytes for c in chunks)
+        assert nbytes <= total < nbytes + KMALLOC_MAX_SIZE
+
+
+class TestBuffer:
+    def test_pattern_is_deterministic(self):
+        assert Buffer.pattern(1000, seed=7) == Buffer.pattern(1000, seed=7)
+        assert Buffer.pattern(1000, seed=7) != Buffer.pattern(1000, seed=8)
+
+    def test_sequential(self):
+        b = Buffer.sequential(300, start=250)
+        assert b.data[0] == 250
+        assert b.data[6] == 0  # wraps at 256
+        assert len(b) == 300
+
+    def test_view_is_zero_copy(self):
+        b = Buffer.zeros(100)
+        v = b.view(10, 20)
+        v.fill(0xFF)
+        assert (b.data[10:30] == 0xFF).all()
+        assert (b.data[:10] == 0).all()
+
+    def test_view_bounds(self):
+        b = Buffer.zeros(10)
+        with pytest.raises(IndexError):
+            b.view(5, 6)
+
+    def test_checksum_changes_with_content(self):
+        b = Buffer.pattern(512, seed=1)
+        c1 = b.checksum()
+        b.data[0] ^= 0xFF
+        assert b.checksum() != c1
+
+    def test_eq_bytes(self):
+        assert Buffer(b"abc") == b"abc"
+        assert not (Buffer(b"abc") == b"abd")
+
+    def test_requires_uint8(self):
+        with pytest.raises(TypeError):
+            Buffer(np.zeros(4, dtype=np.float64))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Buffer(b"x"))

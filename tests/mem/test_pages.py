@@ -1,0 +1,68 @@
+"""Page arithmetic unit + property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import (
+    PAGE_SIZE,
+    is_page_aligned,
+    page_align_down,
+    page_align_up,
+    page_offset,
+    pages_spanned,
+)
+
+
+def test_constants():
+    assert PAGE_SIZE == 4096
+
+
+@pytest.mark.parametrize(
+    "addr,down,up",
+    [
+        (0, 0, 0),
+        (1, 0, 4096),
+        (4095, 0, 4096),
+        (4096, 4096, 4096),
+        (4097, 4096, 8192),
+    ],
+)
+def test_align_examples(addr, down, up):
+    assert page_align_down(addr) == down
+    assert page_align_up(addr) == up
+
+
+@pytest.mark.parametrize(
+    "addr,nbytes,n",
+    [
+        (0, 0, 0),
+        (0, 1, 1),
+        (0, 4096, 1),
+        (0, 4097, 2),
+        (4095, 2, 2),
+        (4095, 1, 1),
+        (100, 8192, 3),
+    ],
+)
+def test_pages_spanned_examples(addr, nbytes, n):
+    assert pages_spanned(addr, nbytes) == n
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_align_down_le_addr_le_align_up(addr):
+    assert page_align_down(addr) <= addr <= page_align_up(addr)
+    assert is_page_aligned(page_align_down(addr))
+    assert is_page_aligned(page_align_up(addr))
+    assert page_align_down(addr) + page_offset(addr) == addr
+
+
+@given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=2**24))
+def test_pages_spanned_bounds(addr, nbytes):
+    n = pages_spanned(addr, nbytes)
+    # Must cover the range but never exceed one extra page at each end.
+    assert n * PAGE_SIZE >= nbytes
+    assert (n - 1) * PAGE_SIZE < nbytes + 2 * PAGE_SIZE
+    # Definition check against the naive computation.
+    first = addr // PAGE_SIZE
+    last = (addr + nbytes - 1) // PAGE_SIZE
+    assert n == last - first + 1

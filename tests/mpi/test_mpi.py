@@ -1,0 +1,191 @@
+"""Mini-MPI over SCIF: point-to-point, collectives, symmetric placement."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.mpi import MAX, MPIError, SUM, mpirun
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+def placements_mixed(machine, vm):
+    """The symmetric-mode showcase: host + card + card + VM."""
+    return ["host", ("card", 0), ("card", 0), ("vm", vm)]
+
+
+class TestPointToPoint:
+    def test_ring_pass(self, machine):
+        def main(rank, ctx):
+            right = (rank.rank + 1) % rank.size
+            left = (rank.rank - 1) % rank.size
+            token = yield from rank.sendrecv(right, f"from-{rank.rank}", left)
+            return token
+
+        results = mpirun(machine, ["host", ("card", 0), "host"], main)
+        assert results == ["from-2", "from-0", "from-1"]
+
+    def test_tag_matching_out_of_order(self, machine):
+        def main(rank, ctx):
+            if rank.rank == 0:
+                yield from rank.send(1, "second", tag=2)
+                yield from rank.send(1, "first", tag=1)
+                return None
+            # receive in the opposite order of arrival
+            a = yield from rank.recv(0, tag=1)
+            b = yield from rank.recv(0, tag=2)
+            return (a, b)
+
+        results = mpirun(machine, ["host", ("card", 0)], main)
+        assert results[1] == ("first", "second")
+
+    def test_numpy_payloads_intact(self, machine):
+        payload = np.random.default_rng(5).standard_normal(10_000)
+
+        def main(rank, ctx):
+            if rank.rank == 0:
+                yield from rank.send(1, payload)
+                return None
+            got = yield from rank.recv(0)
+            return got
+
+        results = mpirun(machine, ["host", ("card", 0)], main)
+        assert np.array_equal(results[1], payload)
+
+    def test_self_send_rejected(self, machine):
+        def main(rank, ctx):
+            with pytest.raises(MPIError):
+                yield from rank.send(rank.rank, "x")
+            return True
+
+        assert mpirun(machine, ["host", "host"], main) == [True, True]
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self, machine):
+        times = {}
+
+        def main(rank, ctx):
+            # rank 0 dawdles before the barrier
+            if rank.rank == 0:
+                yield machine.sim.timeout(0.01)
+            yield from rank.barrier()
+            times[rank.rank] = machine.sim.now
+            return None
+
+        mpirun(machine, ["host", ("card", 0), "host", ("card", 0)], main)
+        assert max(times.values()) - min(times.values()) < 0.001
+        assert min(times.values()) >= 0.01
+
+    def test_bcast_from_each_root(self, machine):
+        def main(rank, ctx):
+            out = []
+            for root in range(rank.size):
+                value = f"payload-{root}" if rank.rank == root else None
+                got = yield from rank.bcast(value, root=root)
+                out.append(got)
+            return out
+
+        results = mpirun(machine, ["host", ("card", 0), "host"], main)
+        for per_rank in results:
+            assert per_rank == ["payload-0", "payload-1", "payload-2"]
+
+    def test_reduce_sum_scalar(self, machine):
+        def main(rank, ctx):
+            total = yield from rank.reduce(rank.rank + 1, SUM, root=0)
+            return total
+
+        results = mpirun(machine, ["host", ("card", 0), "host", ("card", 0)], main)
+        assert results[0] == 10  # 1+2+3+4
+        assert results[1:] == [None, None, None]
+
+    def test_allreduce_array_max(self, machine):
+        def main(rank, ctx):
+            vec = np.arange(8) * (rank.rank + 1)
+            got = yield from rank.allreduce(vec, MAX)
+            return got
+
+        results = mpirun(machine, ["host", ("card", 0), "host"], main)
+        expect = np.arange(8) * 3
+        for got in results:
+            assert np.array_equal(got, expect)
+
+    def test_gather_scatter(self, machine):
+        def main(rank, ctx):
+            gathered = yield from rank.gather(rank.rank * 10, root=1)
+            seed = list(range(100, 100 + rank.size)) if rank.rank == 1 else None
+            mine = yield from rank.scatter(seed, root=1)
+            return gathered, mine
+
+        results = mpirun(machine, ["host", ("card", 0), "host"], main)
+        assert results[1][0] == [0, 10, 20]
+        assert [r[1] for r in results] == [100, 101, 102]
+
+    def test_allgather_ring(self, machine):
+        def main(rank, ctx):
+            out = yield from rank.allgather(chr(ord("a") + rank.rank))
+            return out
+
+        results = mpirun(machine, ["host", ("card", 0), "host", ("card", 0)], main)
+        for got in results:
+            assert got == ["a", "b", "c", "d"]
+
+
+class TestSymmetricMode:
+    def test_ranks_span_host_card_and_vm(self, machine):
+        """Symmetric mode through vPHI: a rank inside a guest participates
+        in the same communicator as host and card ranks."""
+        vm = machine.create_vm("vm0")
+
+        def main(rank, ctx):
+            labels = yield from rank.allgather(ctx.label)
+            total = yield from rank.allreduce(rank.rank, SUM)
+            return labels, total
+
+        results = mpirun(machine, placements_mixed(machine, vm), main)
+        labels, total = results[0]
+        assert labels == ["native", "card0", "card0", "vphi"]
+        assert total == 6
+        # the VM rank really used the ring
+        assert vm.vphi.frontend.requests > 0
+
+    def test_distributed_dot_product(self, machine):
+        """A real symmetric workload: block-distributed dot product."""
+        vm = machine.create_vm("vm0")
+        n = 40_000
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(n)
+        y = rng.standard_normal(n)
+
+        def main(rank, ctx):
+            block = n // rank.size
+            lo = rank.rank * block
+            hi = n if rank.rank == rank.size - 1 else lo + block
+            partial = float(x[lo:hi] @ y[lo:hi])
+            total = yield from rank.allreduce(partial, SUM)
+            return total
+
+        results = mpirun(machine, placements_mixed(machine, vm), main)
+        expect = float(x @ y)
+        for got in results:
+            assert got == pytest.approx(expect, rel=1e-12)
+
+    def test_empty_placement_rejected(self, machine):
+        with pytest.raises(MPIError):
+            mpirun(machine, [], lambda rank, ctx: None)
+
+    def test_single_rank_collectives_trivial(self, machine):
+        def main(rank, ctx):
+            yield from rank.barrier()
+            v = yield from rank.bcast("solo", root=0)
+            s = yield from rank.allreduce(7, SUM)
+            g = yield from rank.allgather("only")
+            return v, s, g
+
+        results = mpirun(machine, ["host"], main)
+        assert results == [("solo", 7, ["only"])]

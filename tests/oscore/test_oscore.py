@@ -1,0 +1,106 @@
+"""OS core: kernels, processes, fd tables, sysfs."""
+
+import pytest
+
+from repro.mem import PhysicalMemory
+from repro.oscore import Kernel, Sysfs, SysfsError
+from repro.sim import Simulator
+
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Simulator(), PhysicalMemory(64 * MB), name="k")
+
+
+class TestKernel:
+    def test_create_process_assigns_unique_pids(self, kernel):
+        p1 = kernel.create_process("a")
+        p2 = kernel.create_process("b")
+        assert p1.pid != p2.pid
+        assert kernel.find_process(p1.pid) is p1
+
+    def test_exit_reaps_process(self, kernel):
+        p = kernel.create_process("a")
+        p.exit()
+        assert not p.alive
+        assert kernel.find_process(p.pid) is None
+
+    def test_process_address_spaces_isolated(self, kernel):
+        p1 = kernel.create_process("a")
+        p2 = kernel.create_process("b")
+        v1 = p1.address_space.mmap(4096)
+        v2 = p2.address_space.mmap(4096)
+        p1.address_space.write(v1.start, b"one")
+        p2.address_space.write(v2.start, b"two")
+        assert p1.address_space.read(v1.start, 3).tobytes() == b"one"
+        assert p2.address_space.read(v2.start, 3).tobytes() == b"two"
+
+    def test_fd_table(self, kernel):
+        p = kernel.create_process("a")
+        fd1 = p.install_fd("obj1")
+        fd2 = p.install_fd("obj2")
+        assert fd1 != fd2
+        assert p.close_fd(fd1) == "obj1"
+        with pytest.raises(KeyError):
+            p.close_fd(fd1)
+
+    def test_kmalloc_comes_from_kernel_phys(self, kernel):
+        ext = kernel.kmalloc.kmalloc(4096)
+        assert ext.mem is kernel.phys
+        kernel.kmalloc.kfree(ext)
+
+
+class TestSysfs:
+    def test_publish_read(self):
+        fs = Sysfs()
+        fs.publish("sys/class/mic/mic0/family", "x100")
+        assert fs.read("sys/class/mic/mic0/family") == "x100"
+        assert fs.exists("sys/class/mic/mic0/family")
+        assert not fs.exists("sys/class/mic/mic0/nope")
+
+    def test_live_attribute(self):
+        fs = Sysfs()
+        state = {"v": "ready"}
+        fs.publish("mic0/state", lambda: state["v"])
+        assert fs.read("mic0/state") == "ready"
+        state["v"] = "online"
+        assert fs.read("mic0/state") == "online"
+
+    def test_missing_path_raises(self):
+        fs = Sysfs()
+        with pytest.raises(SysfsError):
+            fs.read("does/not/exist")
+
+    def test_listdir(self):
+        fs = Sysfs()
+        fs.publish("sys/class/mic/mic0/family", "x100")
+        fs.publish("sys/class/mic/mic0/state", "ready")
+        fs.publish("sys/class/mic/mic1/family", "x100")
+        assert fs.listdir("sys/class/mic") == ["mic0", "mic1"]
+        assert fs.listdir("sys/class/mic/mic0") == ["family", "state"]
+
+    def test_listdir_missing_raises(self):
+        fs = Sysfs()
+        with pytest.raises(SysfsError):
+            fs.listdir("nothing/here")
+
+    def test_remove(self):
+        fs = Sysfs()
+        fs.publish("a/b", "1")
+        fs.remove("a/b")
+        assert not fs.exists("a/b")
+        with pytest.raises(SysfsError):
+            fs.remove("a/b")
+
+    def test_path_normalization(self):
+        fs = Sysfs()
+        fs.publish("/sys//class/mic0/", "x")
+        assert fs.read("sys/class/mic0") == "x"
+
+    def test_walk(self):
+        fs = Sysfs()
+        fs.publish("b", "2")
+        fs.publish("a", "1")
+        assert list(fs.walk()) == [("a", "1"), ("b", "2")]

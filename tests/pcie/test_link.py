@@ -1,0 +1,96 @@
+"""PCIe link: bandwidth math, arbitration, messages."""
+
+import pytest
+
+from repro.analysis.calibration import GBPS
+from repro.pcie import GEN2, GEN3, LinkConfig, PCIeLink
+from repro.sim import Simulator, run_with, us
+
+MB = 1 << 20
+
+
+def test_gen2_x16_effective_bandwidth_matches_anchor():
+    cfg = LinkConfig(generation=2, lanes=16, protocol_efficiency=0.8)
+    # 5 GT/s * 8/10 / 8 = 0.5 GB/s per lane; x16 = 8 GB/s raw; 80% -> 6.4
+    assert cfg.raw_bandwidth == pytest.approx(8e9)
+    assert cfg.effective_bandwidth == pytest.approx(6.4e9)
+
+
+def test_gen_lane_scaling():
+    assert GEN3.lane_bandwidth > GEN2.lane_bandwidth
+    narrow = LinkConfig(generation=2, lanes=4)
+    wide = LinkConfig(generation=2, lanes=16)
+    assert wide.raw_bandwidth == pytest.approx(4 * narrow.raw_bandwidth)
+
+
+def test_transfer_time_linear_in_size():
+    sim = Simulator()
+    link = PCIeLink(sim)
+    assert link.transfer_time(2 * MB) == pytest.approx(2 * link.transfer_time(MB))
+
+
+def test_occupy_charges_link_time():
+    sim = Simulator()
+    link = PCIeLink(sim)
+
+    def proc():
+        yield from link.occupy(64 * MB)
+        return sim.now
+
+    t = run_with(sim, proc())
+    assert t == pytest.approx(64 * MB / 6.4e9, rel=0.01)
+    assert link.bytes_transferred == 64 * MB
+    assert link.bulk_transfers == 1
+
+
+def test_bulk_transfers_serialize_fifo():
+    sim = Simulator()
+    link = PCIeLink(sim)
+    done = []
+
+    def sender(tag, nbytes):
+        yield from link.occupy(nbytes)
+        done.append((tag, sim.now))
+
+    sim.spawn(sender("a", 64 * MB))
+    sim.spawn(sender("b", 64 * MB))
+    sim.run()
+    ta = dict(done)["a"]
+    tb = dict(done)["b"]
+    # b waits for a: finishes at ~2x
+    assert tb == pytest.approx(2 * ta, rel=0.01)
+    assert link.utilization(sim.now) == pytest.approx(1.0, rel=0.01)
+
+
+def test_message_latency_and_payload():
+    sim = Simulator()
+    link = PCIeLink(sim)
+
+    def proc():
+        payload = yield from link.message("doorbell-3")
+        return payload, sim.now
+
+    payload, t = run_with(sim, proc())
+    assert payload == "doorbell-3"
+    assert t == pytest.approx(us(2))
+    assert link.messages == 1
+
+
+def test_messages_do_not_arbitrate_with_bulk():
+    sim = Simulator()
+    link = PCIeLink(sim)
+    times = {}
+
+    def bulk():
+        yield from link.occupy(640 * MB)  # 100 ms
+        times["bulk"] = sim.now
+
+    def msg():
+        yield from link.message()
+        times["msg"] = sim.now
+
+    sim.spawn(bulk())
+    sim.spawn(msg())
+    sim.run()
+    assert times["msg"] < times["bulk"]
+    assert times["msg"] == pytest.approx(us(2))

@@ -1,0 +1,81 @@
+"""Xeon Phi device model and SKU catalog."""
+
+import pytest
+
+from repro.phi import DeviceState, SKUS, XeonPhiDevice, sku
+from repro.sim import Simulator, run_with
+
+GB = 1 << 30
+
+
+def test_sku_catalog_contains_paper_card():
+    card = sku("3120P")
+    assert card.cores == 57
+    assert card.threads_per_core == 4
+    assert card.gddr_bytes == 6 * GB
+    assert card.usable_cores == 56
+    assert card.hw_threads == 228
+
+
+def test_peak_dp_flops_about_one_tflop():
+    assert sku("3120P").peak_dp_flops == pytest.approx(1.003e12, rel=0.01)
+
+
+def test_unknown_sku_rejected():
+    with pytest.raises(KeyError, match="unknown"):
+        sku("9999X")
+
+
+def test_catalog_skus_are_consistent():
+    for name, s in SKUS.items():
+        assert s.name == name
+        assert s.usable_cores == s.cores - 1
+        assert s.peak_dp_flops > 0
+
+
+def test_device_boot_brings_card_online():
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+    assert dev.state is DeviceState.READY
+    assert dev.uos is None
+
+    def proc():
+        uos = yield from dev.boot()
+        return uos
+
+    uos = run_with(sim, proc())
+    assert dev.state is DeviceState.ONLINE
+    assert uos is dev.uos
+    assert uos.scheduler.slots == 224
+
+
+def test_double_boot_is_idempotent():
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+
+    def proc():
+        u1 = yield from dev.boot()
+        u2 = yield from dev.boot()
+        return u1 is u2
+
+    assert run_with(sim, proc()) is True
+
+
+def test_sysfs_attrs_reflect_sku_and_state():
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P", index=2)
+    attrs = dev.sysfs_attrs()
+    assert attrs["family"] == "x100"
+    assert attrs["version"] == "3120P"
+    assert attrs["state"] == "ready"
+    assert attrs["cores_count"] == "57"
+    assert dev.name == "mic2"
+
+
+def test_gddr_is_device_local():
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+    ext = dev.gddr.alloc(1 << 20)
+    ext.write(b"on-card")
+    assert ext.read(0, 7).tobytes() == b"on-card"
+    assert dev.gddr.size == 6 * GB

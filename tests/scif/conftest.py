@@ -1,0 +1,15 @@
+"""Shared SCIF test fixtures: a booted one-card machine."""
+
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+@pytest.fixture
+def two_card_machine():
+    return Machine(cards=2).boot()

@@ -1,0 +1,310 @@
+"""SCIF connection lifecycle: bind/listen/connect/accept/close."""
+
+import pytest
+
+from repro.scif import (
+    EADDRINUSE,
+    ECONNREFUSED,
+    ECONNRESET,
+    EINVAL,
+    EISCONN,
+    ENXIO,
+    EAGAIN,
+    EpState,
+)
+
+PORT = 2000
+
+
+def test_bind_assigns_requested_port(machine):
+    proc = machine.host_process("p")
+    lib = machine.scif(proc)
+
+    def body():
+        ep = yield from lib.open()
+        port = yield from lib.bind(ep, PORT)
+        return port, ep.state
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value == (PORT, EpState.BOUND)
+
+
+def test_bind_zero_picks_ephemeral(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        e1 = yield from lib.open()
+        e2 = yield from lib.open()
+        p1 = yield from lib.bind(e1, 0)
+        p2 = yield from lib.bind(e2, 0)
+        return p1, p2
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    p1, p2 = p.value
+    assert p1 >= 1024 and p2 >= 1024 and p1 != p2
+
+
+def test_bind_port_collision(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        e1 = yield from lib.open()
+        e2 = yield from lib.open()
+        yield from lib.bind(e1, PORT)
+        with pytest.raises(EADDRINUSE):
+            yield from lib.bind(e2, PORT)
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_connect_accept_host_to_card(machine):
+    card_node = machine.card_node_id(0)
+    server_lib = machine.scif(machine.card_process("server"))
+    client_lib = machine.scif(machine.host_process("client"))
+
+    def server():
+        ep = yield from server_lib.open()
+        yield from server_lib.bind(ep, PORT)
+        yield from server_lib.listen(ep)
+        conn, peer = yield from server_lib.accept(ep)
+        return conn.state, peer
+
+    def client():
+        ep = yield from client_lib.open()
+        yield from client_lib.connect(ep, (card_node, PORT))
+        return ep.state, ep.peer_addr
+
+    s = machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    sstate, peer = s.value
+    cstate, caddr = c.value
+    assert sstate is EpState.CONNECTED
+    assert cstate is EpState.CONNECTED
+    assert peer[0] == 0  # client is on the host node
+    assert caddr == (card_node, PORT)
+
+
+def test_connect_to_missing_node_raises_enxio(machine):
+    lib = machine.scif(machine.host_process("client"))
+
+    def body():
+        ep = yield from lib.open()
+        with pytest.raises(ENXIO):
+            yield from lib.connect(ep, (99, PORT))
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_connect_no_listener_refused(machine):
+    lib = machine.scif(machine.host_process("client"))
+    card_node = machine.card_node_id(0)
+
+    def body():
+        ep = yield from lib.open()
+        with pytest.raises(ECONNREFUSED):
+            yield from lib.connect(ep, (card_node, 4444))
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_double_connect_is_eisconn(machine):
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("server"))
+    clib = machine.scif(machine.host_process("client"))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        yield from slib.accept(ep)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        with pytest.raises(EISCONN):
+            yield from clib.connect(ep, (card_node, PORT))
+        return True
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value is True
+
+
+def test_listen_requires_bound(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        ep = yield from lib.open()
+        with pytest.raises(EINVAL):
+            yield from lib.listen(ep)
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_nonblocking_accept_eagain(machine):
+    lib = machine.scif(machine.card_process("server"))
+
+    def body():
+        ep = yield from lib.open()
+        yield from lib.bind(ep, PORT)
+        yield from lib.listen(ep)
+        with pytest.raises(EAGAIN):
+            yield from lib.accept(ep, block=False)
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_backlog_overflow_refuses(machine):
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("server"))
+    clib = machine.scif(machine.host_process("clients"))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep, backlog=1)
+        # never accept
+
+    refusals = []
+
+    def client(i):
+        ep = yield from clib.open()
+        try:
+            yield from clib.connect(ep, (card_node, PORT))
+        except ECONNREFUSED:
+            refusals.append(i)
+
+    machine.sim.spawn(server())
+
+    def driver():
+        yield machine.sim.timeout(0.001)
+        for i in range(3):
+            machine.sim.spawn(client(i))
+
+    machine.sim.spawn(driver())
+    machine.run(until=1.0)
+    # backlog of 1: two of the three are refused
+    assert len(refusals) == 2
+
+
+def test_close_listener_refuses_pending_connector(machine):
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("server"))
+    clib = machine.scif(machine.host_process("client"))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        yield machine.sim.timeout(0.01)  # let the connect queue up
+        yield from slib.close(ep)
+
+    def client():
+        yield machine.sim.timeout(0.001)
+        ep = yield from clib.open()
+        with pytest.raises(ECONNREFUSED):
+            yield from clib.connect(ep, (card_node, PORT))
+        return True
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value is True
+
+
+def test_close_connected_peer_sees_reset_on_recv(machine):
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("server"))
+    clib = machine.scif(machine.host_process("client"))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        with pytest.raises(ECONNRESET):
+            yield from slib.recv(conn, 10)
+        return True
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        yield machine.sim.timeout(0.001)
+        yield from clib.close(ep)
+
+    s = machine.sim.spawn(server())
+    machine.sim.spawn(client())
+    machine.run()
+    assert s.value is True
+
+
+def test_port_released_after_close(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        e1 = yield from lib.open()
+        yield from lib.bind(e1, PORT)
+        yield from lib.close(e1)
+        e2 = yield from lib.open()
+        port = yield from lib.bind(e2, PORT)
+        return port
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value == PORT
+
+
+def test_get_node_ids(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        nodes, own = yield from lib.get_node_ids()
+        return nodes, own
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value == ([0, 1], 0)
+
+
+def test_card_to_card_connection(two_card_machine):
+    m = two_card_machine
+    n2 = m.card_node_id(1)
+    slib = m.scif(m.card_process("server", card=1))
+    clib = m.scif(m.card_process("client", card=0))
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, peer = yield from slib.accept(ep)
+        return peer[0]
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (n2, PORT))
+        return ep.peer_addr[0]
+
+    s = m.sim.spawn(server())
+    c = m.sim.spawn(client())
+    m.run()
+    assert s.value == m.card_node_id(0)
+    assert c.value == n2

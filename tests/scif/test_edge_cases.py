@@ -1,0 +1,211 @@
+"""SCIF API edge cases and misuse the driver must reject cleanly."""
+
+import numpy as np
+import pytest
+
+from repro.mem import PAGE_SIZE
+from repro.scif import (
+    EINVAL,
+    ENOTCONN,
+    EpState,
+    Prot,
+    RmaFlag,
+)
+
+PORT = 9800
+MB = 1 << 20
+
+
+def run(machine, gen):
+    p = machine.sim.spawn(gen)
+    machine.run()
+    return p.value
+
+
+def connected_pair(machine, port=PORT):
+    """Returns (server_lib, client_lib, conn_event) with a live connection;
+    the event fires with (server_conn, client_ep)."""
+    slib = machine.scif(machine.card_process(f"s{port}"))
+    clib = machine.scif(machine.host_process(f"c{port}"))
+    ready = machine.sim.event()
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, port)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        return conn
+
+    sp = machine.sim.spawn(server())
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (machine.card_node_id(0), port))
+        return ep
+
+    cp = machine.sim.spawn(client())
+    return slib, clib, sp, cp
+
+
+def test_listen_twice_rejected(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        ep = yield from lib.open()
+        yield from lib.bind(ep, PORT)
+        yield from lib.listen(ep)
+        with pytest.raises(EINVAL):
+            yield from lib.listen(ep)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_bind_after_connect_rejected(machine):
+    slib, clib, sp, cp = connected_pair(machine)
+    machine.run()
+    ep = cp.value
+
+    def body():
+        with pytest.raises(EINVAL):
+            yield from clib.bind(ep, PORT + 1)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_listen_zero_backlog_rejected(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        ep = yield from lib.open()
+        yield from lib.bind(ep, PORT + 2)
+        with pytest.raises(EINVAL):
+            yield from lib.listen(ep, backlog=0)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_accept_on_connected_endpoint_rejected(machine):
+    slib, clib, sp, cp = connected_pair(machine, PORT + 3)
+    machine.run()
+    conn = sp.value
+
+    def body():
+        with pytest.raises(EINVAL):
+            yield from slib.accept(conn)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_register_on_unconnected_endpoint_rejected(machine):
+    proc = machine.host_process("p")
+    lib = machine.scif(proc)
+
+    def body():
+        ep = yield from lib.open()
+        vma = proc.address_space.mmap(PAGE_SIZE)
+        with pytest.raises(ENOTCONN):
+            yield from lib.register(ep, vma.start, PAGE_SIZE)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_rma_zero_length_rejected(machine):
+    slib, clib, sp, cp = connected_pair(machine, PORT + 4)
+    machine.run()
+    ep = cp.value
+    proc = clib.process
+
+    def body():
+        with pytest.raises(EINVAL):
+            yield from clib.vreadfrom(ep, 0x1000, 0, 0)
+        with pytest.raises(EINVAL):
+            yield from clib.vwriteto(ep, 0x1000, -5, 0)
+        return True
+
+    assert run(machine, body()) is True
+
+
+def test_double_close_is_idempotent(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        ep = yield from lib.open()
+        yield from lib.bind(ep, PORT + 5)
+        yield from lib.close(ep)
+        rc = yield from lib.close(ep)  # second close: harmless 0
+        return rc, ep.state
+
+    rc, state = run(machine, body())
+    assert rc == 0
+    assert state is EpState.CLOSED
+
+
+def test_close_unregisters_windows_and_unpins(machine):
+    slib, clib, sp, cp = connected_pair(machine, PORT + 6)
+    machine.run()
+    ep = cp.value
+    proc = clib.process
+
+    def body():
+        vma = proc.address_space.mmap(4 * PAGE_SIZE)
+        yield from clib.register(ep, vma.start, 4 * PAGE_SIZE)
+        assert proc.address_space.pinned_pages() == 4
+        yield from clib.close(ep)
+        return proc.address_space.pinned_pages()
+
+    assert run(machine, body()) == 0
+
+
+def test_usecpu_rma_still_moves_correct_bytes(machine):
+    """Flag combinations: forced-CPU writes land identically to DMA."""
+    slib, clib, sp, cp = connected_pair(machine, PORT + 7)
+    machine.run()
+    conn, ep = sp.value, cp.value
+    sproc, cproc = slib.process, clib.process
+
+    def body():
+        svma = sproc.address_space.mmap(MB, populate=True)
+        roff = yield from slib.register(conn, svma.start, MB)
+        payload = np.arange(MB, dtype=np.int64).astype(np.uint8)[:MB]
+        cvma = cproc.address_space.mmap(MB, populate=True)
+        cproc.address_space.write(cvma.start, payload)
+        yield from clib.vwriteto(ep, cvma.start, MB, roff, RmaFlag.SCIF_RMA_USECPU)
+        got = sproc.address_space.read(svma.start, MB)
+        return np.array_equal(got, payload)
+
+    assert run(machine, body()) is True
+
+
+def test_window_spanning_resolve_across_adjacent_windows(machine):
+    """An RMA may span two adjacent fixed windows with no gap."""
+    slib, clib, sp, cp = connected_pair(machine, PORT + 8)
+    machine.run()
+    conn, ep = sp.value, cp.value
+    sproc, cproc = slib.process, clib.process
+
+    def body():
+        v1 = sproc.address_space.mmap(PAGE_SIZE, populate=True)
+        v2 = sproc.address_space.mmap(PAGE_SIZE, populate=True)
+        sproc.address_space.write(v1.start, b"A" * PAGE_SIZE)
+        sproc.address_space.write(v2.start, b"B" * PAGE_SIZE)
+        from repro.scif import MapFlag
+
+        base = 0x200000
+        yield from slib.register(conn, v1.start, PAGE_SIZE, offset=base,
+                                 flags=MapFlag.SCIF_MAP_FIXED)
+        yield from slib.register(conn, v2.start, PAGE_SIZE, offset=base + PAGE_SIZE,
+                                 flags=MapFlag.SCIF_MAP_FIXED)
+        cvma = cproc.address_space.mmap(2 * PAGE_SIZE, populate=True)
+        # read straddling the window boundary
+        yield from clib.vreadfrom(ep, cvma.start, 2 * PAGE_SIZE, base)
+        got = cproc.address_space.read(cvma.start, 2 * PAGE_SIZE)
+        return got
+
+    got = run(machine, body())
+    assert (got[:PAGE_SIZE] == ord("A")).all()
+    assert (got[PAGE_SIZE:] == ord("B")).all()

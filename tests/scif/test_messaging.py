@@ -1,0 +1,235 @@
+"""SCIF send/recv: data integrity, blocking semantics, latency anchor."""
+
+import numpy as np
+import pytest
+
+from repro.mem import Buffer
+from repro.scif import EAGAIN, EINVAL, ENOTCONN, RecvFlag
+from repro.sim import us
+
+PORT = 2100
+
+
+def connect_pair(machine, port=PORT):
+    """Spawn a server/client pair; returns (server_gen_installer, ...)."""
+    card_node = machine.card_node_id(0)
+    slib = machine.scif(machine.card_process("server"))
+    clib = machine.scif(machine.host_process("client"))
+    return card_node, slib, clib
+
+
+def test_send_recv_roundtrip_bytes_intact(machine):
+    card_node, slib, clib = connect_pair(machine)
+    payload = Buffer.pattern(8192, seed=3)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        data = yield from slib.recv(conn, len(payload))
+        return data
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        n = yield from clib.send(ep, payload)
+        return n
+
+    s = machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value == len(payload)
+    assert np.array_equal(s.value, payload.data)
+
+
+def test_send_one_byte_native_latency_anchor(machine):
+    """Fig 4 anchor: native 1-byte send completes in 7 us."""
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        yield from slib.recv(conn, 1)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        t0 = machine.sim.now
+        yield from clib.send(ep, b"\x01")
+        return machine.sim.now - t0
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value == pytest.approx(us(7), rel=0.02)
+
+
+def test_recv_blocks_until_exact_length(machine):
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        data = yield from slib.recv(conn, 300)  # needs both sends
+        return len(data), machine.sim.now
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        yield from clib.send(ep, b"a" * 100)
+        yield machine.sim.timeout(0.01)
+        yield from clib.send(ep, b"b" * 200)
+
+    s = machine.sim.spawn(server())
+    machine.sim.spawn(client())
+    machine.run()
+    nbytes, t = s.value
+    assert nbytes == 300
+    assert t > 0.01  # waited for the second send
+
+
+def test_recv_nonblocking_partial_and_eagain(machine):
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        with pytest.raises(EAGAIN):
+            yield from slib.recv(conn, 100, RecvFlag.NONE)
+        yield machine.sim.timeout(0.01)  # let data arrive
+        data = yield from slib.recv(conn, 100, RecvFlag.NONE)
+        return data
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        yield machine.sim.timeout(0.005)
+        yield from clib.send(ep, b"xy")
+
+    s = machine.sim.spawn(server())
+    machine.sim.spawn(client())
+    machine.run()
+    assert s.value.tobytes() == b"xy"  # partial: 2 of requested 100
+
+
+def test_message_order_preserved(machine):
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        data = yield from slib.recv(conn, 26)
+        return data.tobytes()
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        for ch in b"abcdefghijklmnopqrstuvwxyz":
+            yield from clib.send(ep, bytes([ch]))
+
+    s = machine.sim.spawn(server())
+    machine.sim.spawn(client())
+    machine.run()
+    assert s.value == b"abcdefghijklmnopqrstuvwxyz"
+
+
+def test_bidirectional_traffic(machine):
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        req = yield from slib.recv(conn, 4)
+        yield from slib.send(conn, req.tobytes()[::-1])
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        yield from clib.send(ep, b"ping")
+        resp = yield from clib.recv(ep, 4)
+        return resp.tobytes()
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value == b"gnip"
+
+
+def test_send_on_unconnected_raises(machine):
+    lib = machine.scif(machine.host_process("p"))
+
+    def body():
+        ep = yield from lib.open()
+        with pytest.raises(ENOTCONN):
+            yield from lib.send(ep, b"x")
+        with pytest.raises(ENOTCONN):
+            yield from lib.recv(ep, 1)
+        return True
+
+    p = machine.sim.spawn(body())
+    machine.run()
+    assert p.value is True
+
+
+def test_zero_length_send_rejected(machine):
+    card_node, slib, clib = connect_pair(machine)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        yield from slib.accept(ep)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        with pytest.raises(EINVAL):
+            yield from clib.send(ep, b"")
+        return True
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    assert c.value is True
+
+
+def test_latency_grows_with_payload(machine):
+    """Fig 4 shape: latency rises with size (payload streaming term)."""
+    card_node, slib, clib = connect_pair(machine)
+    sizes = [1, 1024, 65536]
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, PORT)
+        yield from slib.listen(ep)
+        conn, _ = yield from slib.accept(ep)
+        for size in sizes:
+            yield from slib.recv(conn, size)
+
+    def client():
+        ep = yield from clib.open()
+        yield from clib.connect(ep, (card_node, PORT))
+        lats = []
+        for size in sizes:
+            t0 = machine.sim.now
+            yield from clib.send(ep, bytes(size))
+            lats.append(machine.sim.now - t0)
+        return lats
+
+    machine.sim.spawn(server())
+    c = machine.sim.spawn(client())
+    machine.run()
+    l1, l1k, l64k = c.value
+    assert l1 < l1k < l64k
+    assert l64k > us(25)  # 64KB at 2.5 GB/s is ~26 us of streaming

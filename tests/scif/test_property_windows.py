@@ -1,0 +1,101 @@
+"""Stateful property tests: the window registry's RAS invariants."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.mem import PAGE_SIZE, PhysicalMemory, SGEntry
+from repro.scif import EADDRINUSE, EINVAL, Prot
+from repro.scif.registration import WindowRegistry
+
+MB = 1 << 20
+
+
+class WindowRegistryMachine(RuleBasedStateMachine):
+    """Random add/remove/resolve against a shadow model."""
+
+    def __init__(self):
+        super().__init__()
+        self.mem = PhysicalMemory(256 * MB)
+        self.registry = WindowRegistry()
+        #: shadow: offset -> (nbytes, prot)
+        self.shadow: dict[int, tuple[int, int]] = {}
+
+    def _sg_for(self, nbytes):
+        ext = self.mem.alloc(nbytes)
+        return [SGEntry(self.mem, ext.addr, nbytes)]
+
+    @rule(pages=st.integers(1, 16))
+    def add_dynamic(self, pages):
+        nbytes = pages * PAGE_SIZE
+        win = self.registry.add(nbytes, Prot.SCIF_PROT_READ | Prot.SCIF_PROT_WRITE,
+                                self._sg_for(nbytes))
+        assert win.offset not in self.shadow
+        self.shadow[win.offset] = (nbytes, int(win.prot))
+
+    @rule(slot=st.integers(0, 30), pages=st.integers(1, 8))
+    def add_fixed(self, slot, pages):
+        offset = 0x100000 + slot * 64 * PAGE_SIZE  # fixed offsets may collide
+        nbytes = pages * PAGE_SIZE
+        overlaps = any(
+            o < offset + nbytes and offset < o + n
+            for o, (n, _) in self.shadow.items()
+        )
+        try:
+            self.registry.add(nbytes, Prot.SCIF_PROT_READ,
+                              self._sg_for(nbytes), offset=offset)
+        except EADDRINUSE:
+            assert overlaps
+        else:
+            assert not overlaps
+            self.shadow[offset] = (nbytes, int(Prot.SCIF_PROT_READ))
+
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        if not self.shadow:
+            return
+        offset = data.draw(st.sampled_from(sorted(self.shadow)))
+        self.registry.remove(offset)
+        del self.shadow[offset]
+
+    @rule(offset=st.integers(0, 2**32))
+    def remove_missing_rejected(self, offset):
+        if offset in self.shadow:
+            return
+        try:
+            self.registry.remove(offset)
+        except EINVAL:
+            pass
+        else:
+            raise AssertionError("removed a window that was never added")
+
+    @rule(data=st.data())
+    def resolve_inside_succeeds(self, data):
+        if not self.shadow:
+            return
+        offset = data.draw(st.sampled_from(sorted(self.shadow)))
+        nbytes, _ = self.shadow[offset]
+        start = data.draw(st.integers(0, nbytes - 1))
+        length = data.draw(st.integers(1, nbytes - start))
+        sg = self.registry.resolve(offset + start, length, Prot.SCIF_PROT_READ)
+        assert sum(e.nbytes for e in sg) == length
+
+    @invariant()
+    def registry_matches_shadow(self):
+        assert len(self.registry) == len(self.shadow)
+        for offset, (nbytes, _) in self.shadow.items():
+            win = self.registry.find(offset)
+            assert win is not None and win.offset == offset and win.nbytes == nbytes
+
+    @invariant()
+    def windows_never_overlap(self):
+        wins = sorted(self.registry, key=lambda w: w.offset)
+        for a, b in zip(wins, wins[1:]):
+            assert a.end <= b.offset
+
+
+TestWindowRegistryStateful = WindowRegistryMachine.TestCase
+TestWindowRegistryStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

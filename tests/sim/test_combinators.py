@@ -1,0 +1,98 @@
+"""AllOf/AnyOf combinators: failure propagation, mixed events."""
+
+import pytest
+
+from repro.sim import Simulator, run_with
+
+
+def test_allof_fails_fast_on_child_failure():
+    sim = Simulator()
+    bad = sim.event("bad")
+    slow = sim.timeout(100.0)
+
+    def trigger():
+        yield sim.timeout(1.0)
+        bad.fail(RuntimeError("child broke"))
+
+    def waiter():
+        with pytest.raises(RuntimeError, match="child broke"):
+            yield sim.all_of([slow, bad])
+        return sim.now
+
+    sim.spawn(trigger())
+    p = sim.spawn(waiter())
+    sim.run()
+    # failed at t=1, long before the 100s timeout
+    assert p.value == pytest.approx(1.0)
+
+
+def test_anyof_failure_of_first_child_propagates():
+    sim = Simulator()
+    bad = sim.event("bad")
+
+    def trigger():
+        yield sim.timeout(0.5)
+        bad.fail(ValueError("boom"))
+
+    def waiter():
+        with pytest.raises(ValueError):
+            yield sim.any_of([bad, sim.timeout(10.0)])
+        return True
+
+    sim.spawn(trigger())
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.value is True
+
+
+def test_anyof_ignores_later_events_after_first():
+    sim = Simulator()
+
+    def waiter():
+        first = sim.timeout(1.0, "fast")
+        second = sim.timeout(2.0, "slow")
+        idx, val = yield sim.any_of([second, first])
+        # the slow event still fires later without disturbing anyone
+        yield sim.timeout(5.0)
+        return idx, val
+
+    assert run_with(sim, waiter()) == (1, "fast")
+
+
+def test_allof_mixed_processes_and_timeouts():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent():
+        vals = yield sim.all_of(
+            [sim.spawn(child(2.0, "b")), sim.timeout(1.0, "t"),
+             sim.spawn(child(0.5, "a"))]
+        )
+        return vals, sim.now
+
+    vals, t = run_with(sim, parent())
+    assert vals == ["b", "t", "a"]
+    assert t == pytest.approx(2.0)
+
+
+def test_anyof_requires_events():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.any_of([])
+
+
+def test_nested_combinators():
+    sim = Simulator()
+
+    def proc():
+        inner = sim.all_of([sim.timeout(1.0, 1), sim.timeout(2.0, 2)])
+        idx, val = yield sim.any_of([inner, sim.timeout(10.0)])
+        return idx, val, sim.now
+
+    idx, val, t = run_with(sim, proc())
+    assert idx == 0
+    assert val == [1, 2]
+    assert t == pytest.approx(2.0)

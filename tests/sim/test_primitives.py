@@ -1,0 +1,354 @@
+"""Unit tests for wait queues, semaphores, channels and resources."""
+
+import pytest
+
+from repro.sim import (
+    Channel,
+    ChannelClosed,
+    Mutex,
+    Resource,
+    Semaphore,
+    SimError,
+    Simulator,
+    WaitQueue,
+    run_with,
+    us,
+)
+
+
+class TestWaitQueue:
+    def test_wake_one_fifo(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        order = []
+
+        def sleeper(tag):
+            yield wq.wait()
+            order.append(tag)
+
+        def waker():
+            yield sim.timeout(1.0)
+            wq.wake_one()
+            yield sim.timeout(1.0)
+            wq.wake_one()
+
+        sim.spawn(sleeper("a"))
+        sim.spawn(sleeper("b"))
+        sim.spawn(waker())
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_wake_one_on_empty_returns_false(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        assert wq.wake_one() is False
+
+    def test_wake_all_staggers_by_cost(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        times = []
+
+        def sleeper():
+            yield wq.wait()
+            times.append(sim.now)
+
+        def waker():
+            yield sim.timeout(1.0)
+            wq.wake_all(per_waiter_cost=us(5))
+
+        for _ in range(3):
+            sim.spawn(sleeper())
+        sim.spawn(waker())
+        sim.run()
+        assert times == [
+            pytest.approx(1.0),
+            pytest.approx(1.0 + us(5)),
+            pytest.approx(1.0 + us(10)),
+        ]
+        assert wq.wakeups == 3
+
+    def test_wake_all_count(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+
+        def sleeper():
+            yield wq.wait()
+
+        for _ in range(5):
+            sim.spawn(sleeper())
+
+        def waker():
+            yield sim.timeout(0.1)
+            assert wq.wake_all() == 5
+
+        sim.spawn(waker())
+        sim.run()
+
+    def test_cancel_withdraws_waiter(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        hits = []
+
+        def poller():
+            ev = wq.wait()
+            t = sim.timeout(1.0)
+            idx, _ = yield sim.any_of([ev, t])
+            if idx == 1:
+                wq.cancel(ev)
+                hits.append("timeout")
+            else:
+                hits.append("woken")
+
+        sim.spawn(poller())
+        sim.run()
+        assert hits == ["timeout"]
+        assert len(wq) == 0
+
+    def test_wait_carries_value(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+
+        def sleeper():
+            v = yield wq.wait()
+            return v
+
+        def waker():
+            yield sim.timeout(0.5)
+            wq.wake_one("reply-7")
+
+        p = sim.spawn(sleeper())
+        sim.spawn(waker())
+        sim.run()
+        assert p.value == "reply-7"
+
+
+class TestSemaphore:
+    def test_initial_value_counts(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=2)
+        grants = []
+
+        def worker(tag):
+            yield sem.acquire()
+            grants.append((tag, sim.now))
+            yield sim.timeout(1.0)
+            sem.release()
+
+        for tag in "abc":
+            sim.spawn(worker(tag))
+        sim.run()
+        # a, b immediately; c after a release at t=1
+        assert grants == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=1)
+        assert sem.try_acquire() is True
+        assert sem.try_acquire() is False
+        sem.release()
+        assert sem.try_acquire() is True
+
+    def test_negative_initial_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+    def test_release_hands_off_directly(self):
+        sim = Simulator()
+        sem = Semaphore(sim, value=1)
+
+        def holder():
+            yield sem.acquire()
+            yield sim.timeout(1.0)
+            sem.release()
+
+        def contender():
+            yield sim.timeout(0.1)
+            yield sem.acquire()
+            return sim.now
+
+        sim.spawn(holder())
+        p = sim.spawn(contender())
+        sim.run()
+        assert p.value == pytest.approx(1.0)
+        assert sem.value == 0  # handed to contender, not returned to pool
+
+
+class TestMutex:
+    def test_release_unheld_raises(self):
+        sim = Simulator()
+        m = Mutex(sim, name="lk")
+        with pytest.raises(SimError):
+            m.release()
+
+    def test_mutual_exclusion(self):
+        sim = Simulator()
+        m = Mutex(sim)
+        inside = []
+
+        def critical(tag):
+            yield m.acquire()
+            inside.append(tag)
+            assert len(inside) == 1
+            yield sim.timeout(1.0)
+            inside.remove(tag)
+            m.release()
+
+        for tag in range(4):
+            sim.spawn(critical(tag))
+        sim.run()
+        assert inside == []
+
+
+class TestChannel:
+    def test_put_get_fifo(self):
+        sim = Simulator()
+        ch = Channel(sim)
+
+        def producer():
+            for i in range(3):
+                yield ch.put(i)
+
+        def consumer():
+            got = []
+            for _ in range(3):
+                v = yield ch.get()
+                got.append(v)
+            return got
+
+        sim.spawn(producer())
+        p = sim.spawn(consumer())
+        sim.run()
+        assert p.value == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        ch = Channel(sim)
+
+        def consumer():
+            v = yield ch.get()
+            return (v, sim.now)
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield ch.put("x")
+
+        p = sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert p.value == ("x", pytest.approx(2.0))
+
+    def test_bounded_put_blocks_when_full(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+
+        def producer():
+            yield ch.put("a")
+            yield ch.put("b")  # blocks until consumer drains
+            return sim.now
+
+        def consumer():
+            yield sim.timeout(3.0)
+            yield ch.get()
+
+        p = sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert p.value == pytest.approx(3.0)
+
+    def test_try_put_try_get(self):
+        sim = Simulator()
+        ch = Channel(sim, capacity=1)
+        assert ch.try_put(1) is True
+        assert ch.try_put(2) is False
+        ok, v = ch.try_get()
+        assert (ok, v) == (True, 1)
+        ok, v = ch.try_get()
+        assert ok is False
+
+    def test_close_fails_pending_getters(self):
+        sim = Simulator()
+        ch = Channel(sim, name="q")
+
+        def consumer():
+            with pytest.raises(ChannelClosed):
+                yield ch.get()
+            return "closed-seen"
+
+        def closer():
+            yield sim.timeout(1.0)
+            ch.close()
+
+        p = sim.spawn(consumer())
+        sim.spawn(closer())
+        sim.run()
+        assert p.value == "closed-seen"
+
+    def test_put_after_close_fails(self):
+        sim = Simulator()
+        ch = Channel(sim)
+        ch.close()
+
+        def producer():
+            with pytest.raises(ChannelClosed):
+                yield ch.put(1)
+            return True
+
+        assert run_with(sim, producer()) is True
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Channel(sim, capacity=0)
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker():
+            yield res.request()
+            active.append(1)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.pop()
+            res.release()
+
+        for _ in range(5):
+            sim.spawn(worker())
+        sim.run()
+        assert max(peak) == 2
+        assert res.peak_in_use == 2
+        assert res.in_use == 0
+
+    def test_release_below_zero_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimError):
+            res.release()
+
+    def test_fifo_grants(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(tag, arrive):
+            yield sim.timeout(arrive)
+            yield res.request()
+            order.append(tag)
+            yield sim.timeout(10.0)
+            res.release()
+
+        sim.spawn(worker("a", 0.0))
+        sim.spawn(worker("b", 1.0))
+        sim.spawn(worker("c", 2.0))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)

@@ -1,0 +1,87 @@
+"""Tracer: counters, accumulators, stats, record filtering."""
+
+import pytest
+
+from repro.sim import LatencyStat, Simulator, Tracer
+
+
+def test_counters_always_on():
+    t = Tracer()
+    t.emit("cat.a", "hello")
+    t.emit("cat.a", "again")
+    t.emit("cat.b", "other")
+    assert t.counters["cat.a"] == 2
+    assert t.counters["cat.b"] == 1
+    # records not kept unless enabled
+    assert t.records == []
+
+
+def test_enable_records_category():
+    t = Tracer()
+    t.enable("keep")
+    t.emit("keep", "m1", size=10)
+    t.emit("drop", "m2")
+    assert len(t.records) == 1
+    rec = t.records[0]
+    assert rec.category == "keep"
+    assert rec.field("size") == 10
+    assert rec.field("missing", "dflt") == "dflt"
+    t.disable("keep")
+    t.emit("keep", "m3")
+    assert len(t.records) == 1
+
+
+def test_record_all_mode():
+    t = Tracer(record_all=True)
+    t.emit("anything", "x")
+    assert len(t.records) == 1
+
+
+def test_clock_binding():
+    sim = Simulator()
+    t = Tracer(record_all=True)
+    t.bind_clock(lambda: sim.now)
+
+    def proc():
+        yield sim.timeout(2.5)
+        t.emit("evt", "later")
+
+    sim.spawn(proc())
+    sim.run()
+    assert t.records[0].time == pytest.approx(2.5)
+
+
+def test_accumulate_and_observe():
+    t = Tracer()
+    t.accumulate("bytes", 100)
+    t.accumulate("bytes", 50)
+    assert t.accumulators["bytes"] == 150
+    for v in (1.0, 3.0, 2.0):
+        t.observe("lat", v)
+    stat = t.stats["lat"]
+    assert stat.count == 3
+    assert stat.mean == pytest.approx(2.0)
+    assert stat.min == 1.0
+    assert stat.max == 3.0
+
+
+def test_latency_stat_empty_mean():
+    assert LatencyStat("x").mean == 0.0
+
+
+def test_find_and_reset():
+    t = Tracer(record_all=True)
+    t.emit("a", "1")
+    t.emit("b", "2")
+    assert len(t.find("a")) == 1
+    t.reset()
+    assert t.records == [] and not t.counters and not t.accumulators
+
+
+def test_summary_renders():
+    t = Tracer()
+    t.count("ops", 5)
+    t.accumulate("time", 1.5)
+    s = t.summary()
+    assert "ops: 5" in s
+    assert "time" in s

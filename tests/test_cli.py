@@ -1,0 +1,54 @@
+"""CLI: every subcommand runs and prints sensible output."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_micinfo(capsys):
+    assert main(["micinfo"]) == 0
+    out = capsys.readouterr().out
+    assert "mic0" in out and "3120P" in out
+
+
+def test_fig4_table(capsys):
+    assert main(["fig4", "--sizes", "1,1024"]) == 0
+    out = capsys.readouterr().out
+    assert "native(us)" in out
+    # the two anchors appear in the table
+    assert "7.0" in out
+    assert "382" in out
+
+
+def test_fig4_csv(capsys):
+    assert main(["fig4", "--sizes", "1", "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("size_bytes,native_s,vphi_s")
+
+
+def test_fig5_table(capsys):
+    assert main(["fig5", "--sizes", "268435456"]) == 0
+    out = capsys.readouterr().out
+    assert "6.40" in out
+    assert "73%" in out or "72%" in out
+
+
+def test_dgemm_host_and_vm(capsys):
+    assert main(["dgemm", "--n", "128", "--threads", "56"]) == 0
+    host_out = capsys.readouterr().out
+    assert "from host: status=0" in host_out
+    assert "c_checksum" in host_out
+    assert main(["dgemm", "--n", "128", "--threads", "56", "--vm"]) == 0
+    vm_out = capsys.readouterr().out
+    assert "from VM (vPHI): status=0" in vm_out
+
+
+def test_stream(capsys):
+    assert main(["stream", "--n", "16384", "--iters", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "triad_gbps" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp"])

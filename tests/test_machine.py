@@ -1,0 +1,71 @@
+"""Machine facade: construction, boot ordering, error paths."""
+
+import pytest
+
+from repro import Machine
+from repro.sim import DeadlockError, SimError, Simulator, run_with
+
+
+def test_negative_cards_rejected():
+    with pytest.raises(ValueError):
+        Machine(cards=-1)
+
+
+def test_zero_cards_boots_host_only():
+    m = Machine(cards=0).boot()
+    assert m.booted
+    assert m.fabric.nodes.keys() == {0}
+
+
+def test_scif_before_boot_rejected():
+    m = Machine(cards=1)
+    proc = m.host_process("p")
+    with pytest.raises(SimError):
+        m.scif(proc)
+
+
+def test_create_vm_before_boot_rejected():
+    m = Machine(cards=1)
+    with pytest.raises(SimError):
+        m.create_vm("vm0")
+
+
+def test_card_node_id_before_boot_rejected():
+    m = Machine(cards=1)
+    with pytest.raises(SimError):
+        m.card_node_id(0)
+
+
+def test_boot_assigns_sequential_node_ids():
+    m = Machine(cards=3).boot()
+    assert [m.card_node_id(i) for i in range(3)] == [1, 2, 3]
+    assert sorted(m.fabric.nodes) == [0, 1, 2, 3]
+
+
+def test_sysfs_published_for_every_card():
+    m = Machine(cards=2).boot()
+    for i in range(2):
+        assert m.kernel.sysfs.read(f"sys/class/mic/mic{i}/state") == "online"
+
+
+def test_alternate_card_model():
+    m = Machine(cards=1, card_model="7120P").boot()
+    assert m.devices[0].sku.cores == 61
+    assert m.kernel.sysfs.read("sys/class/mic/mic0/version") == "7120P"
+
+
+def test_run_with_reports_deadlock():
+    sim = Simulator()
+    ev = sim.event("never")
+
+    def stuck():
+        yield ev
+
+    with pytest.raises(DeadlockError):
+        run_with(sim, stuck())
+
+
+def test_repr_is_informative():
+    m = Machine(cards=1)
+    assert "cards=1" in repr(m)
+    assert "booted=False" in repr(m)

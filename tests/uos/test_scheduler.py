@@ -1,0 +1,175 @@
+"""uOS scheduler: placement curve, processor sharing, oversubscription."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phi import sku
+from repro.sim import SimError, Simulator
+from repro.uos import MICScheduler, placement_throughput
+from repro.uos.scheduler import MULTIPLEX_PENALTY, OCCUPANCY
+
+CARD = sku("3120P")
+
+
+class TestPlacement:
+    def test_zero_threads_zero_throughput(self):
+        assert placement_throughput(0, CARD) == 0.0
+
+    def test_56_threads_one_per_core(self):
+        tp = placement_throughput(56, CARD)
+        per_core = CARD.peak_dp_flops / CARD.cores
+        assert tp == pytest.approx(56 * OCCUPANCY[1] * per_core)
+
+    def test_112_threads_two_per_core(self):
+        tp = placement_throughput(112, CARD)
+        per_core = CARD.peak_dp_flops / CARD.cores
+        assert tp == pytest.approx(56 * OCCUPANCY[2] * per_core)
+
+    def test_224_threads_saturates_cores(self):
+        tp = placement_throughput(224, CARD)
+        per_core = CARD.peak_dp_flops / CARD.cores
+        assert tp == pytest.approx(56 * OCCUPANCY[4] * per_core)
+
+    def test_monotone_in_threads(self):
+        tps = [placement_throughput(t, CARD) for t in range(1, 300)]
+        assert all(b >= a - 1e-6 for a, b in zip(tps, tps[1:]))
+
+    def test_paper_thread_counts_ordering(self):
+        """More threads/core hides in-order stalls: 56 < 112 < 224."""
+        t56 = placement_throughput(56, CARD)
+        t112 = placement_throughput(112, CARD)
+        t224 = placement_throughput(224, CARD)
+        assert t56 < t112 < t224
+        # one thread/core leaves ~45% of the card idle
+        assert t56 / t224 == pytest.approx(0.55, abs=0.01)
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_never_exceeds_usable_peak(self, threads):
+        usable_peak = CARD.usable_cores * (CARD.peak_dp_flops / CARD.cores)
+        assert placement_throughput(threads, CARD) <= usable_peak + 1e-3
+
+
+class TestScheduler:
+    def test_single_job_runtime_matches_model(self):
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        flops = 1e12
+        done = sched.submit(flops, threads=112, name="dgemm")
+        sim.run()
+        job = done.value
+        expected = flops / placement_throughput(112, CARD)
+        assert job.finished_at == pytest.approx(expected, rel=1e-6)
+
+    def test_efficiency_scales_runtime(self):
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d1 = sched.submit(1e12, threads=224, efficiency=1.0)
+        sim.run()
+        t_full = d1.value.finished_at
+
+        sim2 = Simulator()
+        sched2 = MICScheduler(sim2, CARD)
+        d2 = sched2.submit(1e12, threads=224, efficiency=0.5)
+        sim2.run()
+        assert d2.value.finished_at == pytest.approx(2 * t_full, rel=1e-6)
+
+    def test_two_jobs_share_cores_at_combined_occupancy(self):
+        """56+56 threads co-resident at 2/core: the card runs at the
+        112-thread occupancy and each job gets half — individually slower
+        than solo (0.45 vs 0.55 of peak) but collectively faster."""
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d1 = sched.submit(1e11, threads=56, name="a")
+        d2 = sched.submit(1e11, threads=56, name="b")
+        sim.run()
+        each_rate = placement_throughput(112, CARD) / 2
+        expect = 1e11 / each_rate
+        assert d1.value.finished_at == pytest.approx(expect, rel=1e-6)
+        assert d2.value.finished_at == pytest.approx(expect, rel=1e-6)
+        # slower than a solo run, but the pair beats two serial runs
+        solo = 1e11 / placement_throughput(56, CARD)
+        assert solo < expect < 2 * solo
+
+    def test_oversubscription_multiplexes_fairly(self):
+        """Two 224-thread jobs oversubscribe 2x: each runs ~2.17x slower
+        (2x share + context-switch penalty)."""
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d1 = sched.submit(1e11, threads=224, name="vm0-dgemm")
+        d2 = sched.submit(1e11, threads=224, name="vm1-dgemm")
+        sim.run()
+        solo = 1e11 / placement_throughput(224, CARD)
+        expect = solo * 2 / MULTIPLEX_PENALTY
+        assert d1.value.finished_at == pytest.approx(expect, rel=1e-3)
+        assert d2.value.finished_at == pytest.approx(expect, rel=1e-3)
+        assert sched.peak_demand == 448
+
+    def test_staggered_arrival_rates_rebalance(self):
+        """A job arriving mid-flight slows the first one down from then on."""
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d1 = sched.submit(2e11, threads=224, name="first")
+
+        def late_submit():
+            yield sim.timeout(0.05)
+            return sched.submit(2e11, threads=224, name="second")
+
+        p = sim.spawn(late_submit())
+        sim.run()
+        solo = 2e11 / placement_throughput(224, CARD)
+        t1 = d1.value.finished_at
+        # slower than solo, faster than full 2x-from-start
+        assert solo < t1 < solo * 2 / MULTIPLEX_PENALTY
+        # second job finishes after the first
+        assert p.value.value.finished_at > t1
+
+    def test_completion_frees_capacity(self):
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d1 = sched.submit(1e10, threads=224, name="short")
+        d2 = sched.submit(1e12, threads=224, name="long")
+        sim.run()
+        assert sched.active_jobs == 0
+        assert len(sched.completed) == 2
+        assert d2.value.finished_at > d1.value.finished_at
+
+    def test_invalid_submissions_rejected(self):
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        with pytest.raises(SimError):
+            sched.submit(1e9, threads=0)
+        with pytest.raises(SimError):
+            sched.submit(-1, threads=4)
+        with pytest.raises(SimError):
+            sched.submit(1e9, threads=4, efficiency=1.5)
+
+    def test_zero_flop_job_completes(self):
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        d = sched.submit(0.0, threads=8, name="empty")
+        sim.run()
+        assert d.value.finished_at == pytest.approx(0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        jobs=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=448),  # threads
+                st.floats(min_value=1e8, max_value=1e11),  # flops
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_work_conservation_property(self, jobs):
+        """Property: every submitted job completes, exactly once, with
+        total progress equal to its flops."""
+        sim = Simulator()
+        sched = MICScheduler(sim, CARD)
+        events = [sched.submit(f, threads=t) for t, f in jobs]
+        sim.run()
+        assert len(sched.completed) == len(jobs)
+        for ev, (t, f) in zip(events, jobs):
+            job = ev.value
+            assert job.flops_done == pytest.approx(f, rel=1e-5)
+            assert job.finished_at is not None

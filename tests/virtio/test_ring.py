@@ -1,0 +1,112 @@
+"""Vring mechanics: descriptor chains, avail/used, exhaustion, reuse."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import SimError
+from repro.virtio import DescFlag, Vring
+
+
+def test_ring_size_must_be_power_of_two():
+    with pytest.raises(SimError):
+        Vring(100)
+    Vring(128)  # fine
+
+
+def test_add_pop_roundtrip_preserves_chain():
+    ring = Vring(8)
+    head = ring.add_chain(
+        out=[(0x1000, 64), (0x2000, 128)], inb=[(0x3000, 256)], header="req-1"
+    )
+    elem = ring.pop_avail()
+    assert elem is not None
+    assert elem.head == head
+    assert elem.header == "req-1"
+    assert [(d.addr, d.len) for d in elem.out] == [(0x1000, 64), (0x2000, 128)]
+    assert [(d.addr, d.len) for d in elem.inb] == [(0x3000, 256)]
+    assert all(d.flags & DescFlag.WRITE for d in elem.inb)
+    assert not any(d.flags & DescFlag.WRITE for d in elem.out)
+
+
+def test_used_flows_back_to_driver():
+    ring = Vring(8)
+    ring.add_chain(out=[(0x1000, 8)], inb=[], header={"op": "nop"})
+    elem = ring.pop_avail()
+    ring.push_used(elem, written=42)
+    head, written, header = ring.get_used()
+    assert written == 42
+    assert header == {"op": "nop"}
+    assert ring.get_used() is None
+
+
+def test_descriptor_exhaustion():
+    ring = Vring(4)
+    ring.add_chain(out=[(0, 1), (0, 1)], inb=[])
+    ring.add_chain(out=[(0, 1), (0, 1)], inb=[])
+    with pytest.raises(SimError, match="full"):
+        ring.add_chain(out=[(0, 1)], inb=[])
+
+
+def test_descriptors_recycled_after_completion():
+    ring = Vring(4)
+    for _ in range(10):  # 10 rounds through a 4-entry ring
+        ring.add_chain(out=[(0, 1)], inb=[(0, 1), (0, 1), (0, 1)])
+        elem = ring.pop_avail()
+        ring.push_used(elem)
+        ring.get_used()
+    assert ring.num_free == 4
+
+
+def test_empty_chain_rejected():
+    ring = Vring(4)
+    with pytest.raises(SimError):
+        ring.add_chain(out=[], inb=[])
+
+
+def test_pop_on_empty_returns_none():
+    ring = Vring(4)
+    assert ring.pop_avail() is None
+
+
+def test_fifo_ordering_of_avail():
+    ring = Vring(16)
+    heads = [ring.add_chain(out=[(i, 1)], inb=[], header=i) for i in range(5)]
+    popped = [ring.pop_avail().header for _ in range(5)]
+    assert popped == list(range(5))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(1, 3), st.integers(0, 3)), min_size=1, max_size=40
+    )
+)
+def test_ring_conservation_property(ops):
+    """Property: descriptors are conserved through arbitrary submit/complete
+    interleavings; free + in-flight == size always."""
+    ring = Vring(32)
+    submitted = 0
+    completed = 0
+    for n_out, n_in in ops:
+        chain_len = n_out + n_in
+        if chain_len == 0:
+            continue
+        if chain_len <= ring.num_free:
+            ring.add_chain(
+                out=[(i, 1) for i in range(n_out)],
+                inb=[(i, 1) for i in range(n_in)],
+                header=submitted,
+            )
+            submitted += 1
+        # device processes everything available
+        while True:
+            elem = ring.pop_avail()
+            if elem is None:
+                break
+            ring.push_used(elem)
+        # driver reaps
+        while ring.get_used() is not None:
+            completed += 1
+        assert ring.num_free + ring.in_flight == ring.size
+    assert completed == submitted
+    assert ring.num_free == ring.size

@@ -1,0 +1,15 @@
+"""vPHI test fixtures: booted machine + one VM with vPHI installed."""
+
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()
+
+
+@pytest.fixture
+def vm(machine):
+    return machine.create_vm("vm0", ram_bytes=2 << 30)
