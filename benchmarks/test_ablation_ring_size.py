@@ -7,7 +7,6 @@ concurrent guest requests while barely touching single-stream traffic —
 the classic queue-depth tradeoff, quantified.
 """
 
-import pytest
 
 from conftest import fresh_machine, print_table
 from repro.sim import us

@@ -16,7 +16,6 @@ guest buffer:
 import itertools
 
 import numpy as np
-import pytest
 
 from conftest import MB, fmt_size, fresh_machine, print_table
 from repro.workloads import ClientContext, rma_read_throughput, sendrecv_latency

@@ -11,7 +11,7 @@ grounds.  This bench quantifies both.
 import pytest
 
 from conftest import fresh_machine_with_daemon, print_table
-from repro.micnet import MicNetwork, NetBridge, NetSocket, SshDaemon, ssh_native_launch
+from repro.micnet import MicNetwork, NetBridge, SshDaemon, ssh_native_launch
 from repro.mpss import micnativeloadex
 from repro.workloads import ClientContext, DGEMM_BINARY
 

@@ -8,7 +8,6 @@ launch completes correctly, (b) compute is multiplexed by the uOS
 scheduler, (c) the PCIe link is shared for the binary transfers.
 """
 
-import pytest
 
 from conftest import fresh_machine_with_daemon, print_table
 from repro.mpss import micnativeloadex

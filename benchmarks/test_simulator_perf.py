@@ -10,7 +10,7 @@ shows up as a regression, not as a mysteriously slower test suite.
 import numpy as np
 
 from repro import Machine
-from repro.mem import PAGE_SIZE, PhysicalMemory, SGEntry
+from repro.mem import PhysicalMemory, SGEntry
 from repro.pcie import sg_copy
 from repro.sim import Simulator
 

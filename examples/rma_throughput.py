@@ -16,7 +16,6 @@ Run:  python examples/rma_throughput.py
 import numpy as np
 
 from repro import Machine
-from repro.workloads import ClientContext
 
 PORT = 2600
 MB = 1 << 20

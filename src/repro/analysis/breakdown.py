@@ -17,7 +17,14 @@ from dataclasses import dataclass
 
 from .calibration import SCIF_COSTS
 
-__all__ = ["PhaseShare", "overhead_breakdown", "render_breakdown"]
+__all__ = [
+    "OpStats",
+    "PhaseShare",
+    "overhead_breakdown",
+    "per_op_stats",
+    "render_breakdown",
+    "render_per_op",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +66,63 @@ def overhead_breakdown(frontend) -> list[PhaseShare]:
     ]
     out.sort(key=lambda p: p.per_request, reverse=True)
     return out
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Per-operation service metrics for one VM's vPHI traffic."""
+
+    op: str
+    submitted: int
+    served: int
+    errors: int
+    mean_latency: float  # seconds; 0.0 when nothing completed
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.served if self.served else 0.0
+
+
+def per_op_stats(frontend) -> list[OpStats]:
+    """Per-op submitted/served/error/latency metrics from live traces.
+
+    Every key comes from the op registry's declared trace keys — the
+    analysis layer holds no op-name string literals — so newly registered
+    operations show up here with zero extra wiring.  The frontend and
+    backend share the VM tracer, so one tracer holds both sides' counts.
+    """
+    from ..vphi.ops import registered_ops
+
+    tracer = frontend.tracer
+    out = []
+    for spec in registered_ops():
+        submitted = tracer.counters.get(spec.counter_key, 0)
+        served = tracer.counters.get(spec.served_key, 0)
+        errors = tracer.counters.get(spec.error_key, 0)
+        if not (submitted or served):
+            continue
+        stat = tracer.stats.get(spec.latency_key)
+        mean_latency = stat.mean if stat is not None else 0.0
+        out.append(OpStats(spec.op_name, submitted, served, errors, mean_latency))
+    out.sort(key=lambda s: s.submitted, reverse=True)
+    return out
+
+
+def render_per_op(frontend) -> str:
+    """Human-readable per-op service table."""
+    rows = per_op_stats(frontend)
+    lines = ["vPHI per-op service metrics:"]
+    if not rows:
+        lines.append("  (no traffic)")
+        return "\n".join(lines)
+    lines.append(f"  {'op':<14} {'submitted':>9} {'served':>7} "
+                 f"{'errors':>7} {'mean latency':>14}")
+    for s in rows:
+        lines.append(
+            f"  {s.op:<14} {s.submitted:>9} {s.served:>7} {s.errors:>7} "
+            f"{s.mean_latency * 1e6:>11.1f} us"
+        )
+    return "\n".join(lines)
 
 
 def render_breakdown(frontend) -> str:

@@ -1,11 +1,10 @@
 """Per-request timelines: Fig 3's I/O path, annotated with live times.
 
-Enable the ``vphi.timeline`` trace category on a VM's frontend *and* the
-machine tracer (the backend emits there), run traffic, then render what
-one request actually did::
+Enable the ``vphi.timeline`` trace category on a VM's tracer (the vPHI
+frontend and backend share it), run traffic, then render what one
+request actually did::
 
-    vm.vphi.frontend.tracer.enable("vphi.timeline")
-    machine.tracer.enable("vphi.timeline")
+    vm.tracer.enable("vphi.timeline")
     ...
     print(render_timeline(request_timeline(vm, machine, tag)))
 """
@@ -30,10 +29,13 @@ def _records_for(vm, machine, tag: int):
         r for r in vm.vphi.frontend.tracer.find("vphi.timeline")
         if r.field("tag") == tag
     ]
-    records += [
-        r for r in machine.tracer.find("vphi.timeline")
-        if r.field("tag") == tag and r.field("vm") == vm.name
-    ]
+    # legacy wiring had the backend emitting on the machine tracer; scan
+    # it too unless it is the same object (avoid double-counting records)
+    if machine.tracer is not vm.vphi.frontend.tracer:
+        records += [
+            r for r in machine.tracer.find("vphi.timeline")
+            if r.field("tag") == tag and r.field("vm") == vm.name
+        ]
     records.sort(key=lambda r: r.time)
     return records
 

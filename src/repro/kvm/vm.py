@@ -15,7 +15,7 @@ from typing import Optional
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
 from ..mem import PhysExtent, PhysicalMemory, SGEntry
 from ..oscore import Kernel, OSProcess
-from ..sim import Domain, SimError, Simulator
+from ..sim import Domain, SimError, Simulator, Tracer
 from .fault import KvmMmu
 from .qemu import QemuProcess
 
@@ -49,6 +49,7 @@ class VirtualMachine:
         vcpus: int = 1,
         costs: VPhiCosts = VPHI_COSTS,
         kvm_modified: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         if vcpus < 1:
             raise SimError("VM needs at least one vCPU")
@@ -56,6 +57,11 @@ class VirtualMachine:
         self.name = name
         self.vcpus = vcpus
         self.costs = costs
+        #: the VM's tracer: one shared timeline for everything this guest
+        #: does (the vPHI frontend *and* backend both default to it, so
+        #: per-VM breakdowns never split across two tracers).
+        self.tracer = tracer or Tracer()
+        self.tracer.bind_clock(lambda: sim.now)
         #: guest RAM is one memory slot carved from host RAM.
         self.ram = host_kernel.phys.carve(ram_bytes, name=f"{name}-ram")
         self.guest_kernel = GuestKernel(sim, self.ram, name)

@@ -19,7 +19,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..coi.protocol import frame, recv_msg, send_msg
+from ..coi.protocol import recv_msg, send_msg
 from ..mpss.binaries import lookup_binary
 from ..scif import ScifError
 from .stack import MicNetwork, NetSocket

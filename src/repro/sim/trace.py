@@ -9,7 +9,7 @@ overhead to the frontend wait scheme).
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = ["TraceRecord", "Tracer", "LatencyStat"]

@@ -4,24 +4,46 @@ Split-driver design (§III): a guest-kernel frontend intercepts SCIF
 system calls and forwards them over a virtio ring to a QEMU backend that
 replays them against the host SCIF driver.  Multiple VMs are just
 multiple host processes, so the card is shared.
+
+Per-operation semantics (marshal rules, backend handler, blocking class,
+trace keys, cost hooks) are declared exactly once in the
+:mod:`~repro.vphi.ops` registry; every layer derives from it.
 """
 
 from .backend import VPhiBackend
 from .chunking import BounceBuffers, chunk_plan
 from .config import VPhiConfig, WaitMode
-from .frontend import VPhiFrontend
+from .frontend import BatchCall, VPhiFrontend
 from .guest_libscif import GuestEndpoint, GuestScif
+from .ops import (
+    BLOCKING,
+    NONBLOCKING,
+    REQUIRED,
+    ArgSpec,
+    OpSpec,
+    default_nonblocking_ops,
+    register,
+    registered_ops,
+    spec_for,
+    temporary_op,
+)
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
 from .setup import VPhiInstance, install_vphi
 from .wait import HybridWait, InterruptWait, PollingWait, make_wait_scheme
 
 __all__ = [
+    "ArgSpec",
+    "BLOCKING",
+    "BatchCall",
     "BounceBuffers",
     "GuestEndpoint",
     "GuestScif",
     "HybridWait",
     "InterruptWait",
+    "NONBLOCKING",
+    "OpSpec",
     "PollingWait",
+    "REQUIRED",
     "VPhiBackend",
     "VPhiConfig",
     "VPhiFrontend",
@@ -31,6 +53,11 @@ __all__ = [
     "VPhiResponse",
     "WaitMode",
     "chunk_plan",
+    "default_nonblocking_ops",
     "install_vphi",
     "make_wait_scheme",
+    "register",
+    "registered_ops",
+    "spec_for",
+    "temporary_op",
 ]

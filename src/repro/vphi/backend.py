@@ -12,6 +12,10 @@ Each VM's backend is a distinct QEMU host process holding its own
 ``libscif`` context — "from the host driver's perspective, multiple VMs
 issuing SCIF requests are essentially multiple host processes", which is
 precisely what enables Xeon Phi sharing.
+
+Per-operation semantics live in the :mod:`~repro.vphi.ops` registry; the
+backend is a table-driven executor: look the spec up, charge its cost
+hooks, run its handler against the host :class:`~repro.scif.NativeScif`.
 """
 
 from __future__ import annotations
@@ -22,21 +26,12 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
-from ..kvm.fault import PfnPhiInfo
-from ..scif import (
-    Endpoint,
-    NativeScif,
-    PollEvent,
-    Prot,
-    RecvFlag,
-    RmaFlag,
-    ScifError,
-    SendFlag,
-)
+from ..scif import Endpoint, NativeScif, Prot, RmaFlag, ScifError
 from ..sim import Tracer
 from ..virtio import VirtioDevice, VirtqueueElement
 from .config import VPhiConfig
-from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .ops import OpSpec, spec_for
+from .protocol import VPhiRequest, VPhiResponse
 
 __all__ = ["VPhiBackend"]
 
@@ -61,7 +56,9 @@ class VPhiBackend:
         self.host_kernel = host_kernel
         self.config = config or VPhiConfig()
         self.costs = costs
-        self.tracer = tracer or Tracer()
+        # default to the owning VM's tracer so frontend + backend share
+        # one timeline (a fresh Tracer here would silently drop half of it)
+        self.tracer = tracer or getattr(vm, "tracer", None) or Tracer()
         self.endpoints: dict[int, Endpoint] = {}
         self._handles = itertools.count(1)
         virtio.bind_backend(self.on_kick)
@@ -73,11 +70,23 @@ class VPhiBackend:
         self.errors_returned = 0
 
     # ------------------------------------------------------------------
-    def _ep(self, handle: int) -> Endpoint:
+    # endpoint handle table (used by the registered op handlers)
+    # ------------------------------------------------------------------
+    def endpoint(self, handle: int) -> Endpoint:
+        """Resolve a guest-visible handle to the backend's endpoint."""
         try:
             return self.endpoints[handle]
         except KeyError:
             raise ScifError(f"vphi backend: unknown endpoint handle {handle}") from None
+
+    def new_handle(self, ep: Endpoint) -> int:
+        """Intern a freshly opened/accepted endpoint, returning its handle."""
+        handle = next(self._handles)
+        self.endpoints[handle] = ep
+        return handle
+
+    def drop_handle(self, handle: int) -> None:
+        del self.endpoints[handle]
 
     def on_kick(self):
         """Kick handler: drain the avail ring, post one QEMU event each."""
@@ -112,21 +121,26 @@ class VPhiBackend:
     def handle(self, elem: VirtqueueElement):
         """Process one request end-to-end and complete it on the ring."""
         req: VPhiRequest = elem.header
+        spec = spec_for(req.op)
         # map guest buffers + dispatch overhead
         yield self.sim.timeout(self.costs.backend)
         self.tracer.emit("vphi.timeline", "backend mapped buffers, dispatching",
-                         tag=req.tag, op=req.op.value, vm=self.vm.name)
+                         tag=req.tag, op=spec.op_name, phase=spec.phase,
+                         vm=self.vm.name)
         resp = VPhiResponse(tag=req.tag)
         try:
-            result, written = yield from self._dispatch(req, elem)
+            result, written = yield from self._dispatch(spec, req, elem)
             resp.result = result
             resp.written = written
         except ScifError as err:
             resp.error = err
             self.errors_returned += 1
+            self.tracer.count(spec.error_key)
         self.requests_served += 1
+        self.tracer.count(spec.served_key)
         self.tracer.emit("vphi.timeline", "host call returned, irq injected",
-                         tag=req.tag, op=req.op.value, vm=self.vm.name)
+                         tag=req.tag, op=spec.op_name, phase=spec.phase,
+                         vm=self.vm.name)
         # the response record is written into the shared chain header
         self.virtio.ring.push_used(elem, written=resp.written, header=resp)
         self.virtio.inject_irq()
@@ -134,10 +148,23 @@ class VPhiBackend:
         # pick up requests whose kicks were suppressed while we worked
         self._drain()
 
+    def _dispatch(self, spec: OpSpec, req: VPhiRequest, elem: VirtqueueElement):
+        """Table-driven dispatch: cost hooks around the registered handler.
+
+        Returns ``(result, written)``.
+        """
+        if spec.pre_cost is not None:
+            yield self.sim.timeout(spec.pre_cost(self, req))
+        result, written = yield from spec.handler(self, req, elem, req.args)
+        if spec.post_cost is not None:
+            yield self.sim.timeout(spec.post_cost(self, req))
+        return result, written
+
     # ------------------------------------------------------------------
     # guest buffer access (zero copy: descriptors are guest-physical)
     # ------------------------------------------------------------------
-    def _out_payload(self, elem: VirtqueueElement) -> np.ndarray:
+    def out_payload(self, elem: VirtqueueElement) -> np.ndarray:
+        """Gather the guest->host bulk payload riding the chain."""
         # elem.out[0] is the serialized request header; data follows.
         parts = []
         for desc in elem.out[1:]:
@@ -145,7 +172,8 @@ class VPhiBackend:
             parts.extend(e.mem.read(e.paddr, e.nbytes) for e in sg)
         return np.concatenate(parts) if parts else np.empty(0, dtype=np.uint8)
 
-    def _scatter_in(self, elem: VirtqueueElement, data: np.ndarray) -> int:
+    def scatter_in(self, elem: VirtqueueElement, data: np.ndarray) -> int:
+        """Scatter a host->guest payload into the chain's in descriptors."""
         off = 0
         for desc in elem.inb:
             if off >= len(data):
@@ -157,135 +185,31 @@ class VPhiBackend:
         return off
 
     # ------------------------------------------------------------------
-    def _dispatch(self, req: VPhiRequest, elem: VirtqueueElement):
-        """Returns (result, written)."""
-        op = req.op
+    # RMA helpers shared by the registered readfrom/writeto handlers
+    # (fixed syscall/completion costs are the ops' pre/post cost hooks)
+    # ------------------------------------------------------------------
+    def window_rma(self, req: VPhiRequest, direction: str):
+        """Window-to-window RMA: both sides pinned, DMA direct (no bounce)."""
         a = req.args
-        if op is VPhiOp.OPEN:
-            ep = yield from self.lib.open()
-            handle = next(self._handles)
-            self.endpoints[handle] = ep
-            return handle, 0
-        if op is VPhiOp.CLOSE:
-            ep = self._ep(req.handle)
-            yield from self.lib.close(ep)
-            del self.endpoints[req.handle]
-            return 0, 0
-        if op is VPhiOp.BIND:
-            port = yield from self.lib.bind(self._ep(req.handle), a["port"])
-            return port, 0
-        if op is VPhiOp.LISTEN:
-            yield from self.lib.listen(self._ep(req.handle), a.get("backlog", 16))
-            return 0, 0
-        if op is VPhiOp.CONNECT:
-            port = yield from self.lib.connect(self._ep(req.handle), tuple(a["addr"]))
-            return port, 0
-        if op is VPhiOp.ACCEPT:
-            conn, peer = yield from self.lib.accept(
-                self._ep(req.handle), block=a.get("block", True)
-            )
-            handle = next(self._handles)
-            self.endpoints[handle] = conn
-            return (handle, peer), 0
-        if op is VPhiOp.SEND:
-            payload = self._out_payload(elem)
-            n = yield from self.lib.send(
-                self._ep(req.handle), payload, SendFlag(a.get("flags", 1))
-            )
-            return n, 0
-        if op is VPhiOp.RECV:
-            data = yield from self.lib.recv(
-                self._ep(req.handle), a["nbytes"], RecvFlag(a.get("flags", 1))
-            )
-            written = self._scatter_in(elem, data)
-            return len(data), written
-        if op is VPhiOp.REGISTER:
-            # the guest pinned its pages; their SG rides the request
-            offset = yield from self.lib.register_sg(
-                self._ep(req.handle),
-                a["sg"],
-                a["nbytes"],
-                offset=a.get("offset"),
-                prot=Prot(a.get("prot", 3)),
-                label=f"{self.vm.name}-guest-window",
-            )
-            return offset, 0
-        if op is VPhiOp.UNREGISTER:
-            yield from self.lib.unregister(self._ep(req.handle), a["offset"])
-            return 0, 0
-        if op is VPhiOp.READFROM:
-            # window-to-window: both sides pinned, DMA direct (no bounce)
-            ep = self._ep(req.handle)
-            yield self.sim.timeout(self.lib.costs.syscall + self.lib.costs.driver)
-            local_sg = ep.windows.resolve(a["loffset"], a["nbytes"], Prot.SCIF_PROT_WRITE)
-            n = yield from self.lib.rma_sg(
-                ep, local_sg, a["nbytes"], a["roffset"], "read", RmaFlag(a.get("flags", 0))
-            )
-            yield self.sim.timeout(self.lib.costs.completion)
-            return n, 0
-        if op is VPhiOp.WRITETO:
-            ep = self._ep(req.handle)
-            yield self.sim.timeout(self.lib.costs.syscall + self.lib.costs.driver)
-            local_sg = ep.windows.resolve(a["loffset"], a["nbytes"], Prot.SCIF_PROT_READ)
-            n = yield from self.lib.rma_sg(
-                ep, local_sg, a["nbytes"], a["roffset"], "write", RmaFlag(a.get("flags", 0))
-            )
-            yield self.sim.timeout(self.lib.costs.completion)
-            return n, 0
-        if op is VPhiOp.VREADFROM:
-            n = yield from self._chunked_rma(req, elem, "read")
-            return n, n
-        if op is VPhiOp.VWRITETO:
-            n = yield from self._chunked_rma(req, elem, "write")
-            return n, 0
-        if op is VPhiOp.MMAP:
-            ep = self._ep(req.handle)
-            prot = Prot(a.get("prot", 3))
-            if ep.peer is None:
-                raise ScifError("mmap on unconnected endpoint")
-            sg = ep.peer.windows.resolve(a["roffset"], a["nbytes"], prot)
-            yield self.sim.timeout(self.costs.backend)
-            # the "<15 LOC host SCIF driver" half: hand the frame numbers
-            # back so the guest VMA can be tagged VM_PFNPHI.
-            return PfnPhiInfo(sg), 0
-        if op is VPhiOp.FENCE_MARK:
-            mark = yield from self.lib.fence_mark(self._ep(req.handle))
-            return mark, 0
-        if op is VPhiOp.FENCE_WAIT:
-            yield from self.lib.fence_wait(self._ep(req.handle), a["mark"])
-            return 0, 0
-        if op is VPhiOp.FENCE_SIGNAL:
-            yield from self.lib.fence_signal(
-                self._ep(req.handle), a["loffset"], a["lval"],
-                a["roffset"], a["rval"],
-            )
-            return 0, 0
-        if op is VPhiOp.GET_NODE_IDS:
-            ids = yield from self.lib.get_node_ids()
-            return ids, 0
-        if op is VPhiOp.POLL:
-            revents = yield from self.lib.poll(
-                [(self._ep(req.handle), PollEvent(a["mask"]))],
-                timeout=a.get("timeout"),
-            )
-            return int(revents[0]), 0
-        if op is VPhiOp.SYSFS_READ:
-            yield self.sim.timeout(0)
-            return self.host_kernel.sysfs.read(a["path"]), 0
-        raise ScifError(f"vphi backend: unknown op {op!r}")
+        ep = self.endpoint(req.handle)
+        want = Prot.SCIF_PROT_WRITE if direction == "read" else Prot.SCIF_PROT_READ
+        local_sg = ep.windows.resolve(a["loffset"], a["nbytes"], want)
+        n = yield from self.lib.rma_sg(
+            ep, local_sg, a["nbytes"], a["roffset"], direction,
+            RmaFlag(a.get("flags", 0)),
+        )
+        return n
 
-    def _chunked_rma(self, req: VPhiRequest, elem: VirtqueueElement, direction: str):
+    def chunked_rma(self, req: VPhiRequest, elem: VirtqueueElement, direction: str):
         """Per-chunk RMA between the remote window and the bounce chunks.
 
         One backend submission cost per KMALLOC element; the DMA engine
         charges its own setup + link occupancy per chunk.
         """
-        ep = self._ep(req.handle)
+        ep = self.endpoint(req.handle)
         descs = elem.inb if direction == "read" else elem.out[1:]
         roffset = req.args["roffset"]
         flags = RmaFlag(req.args.get("flags", 0))
-        # one host ioctl for the whole operation
-        yield self.sim.timeout(self.lib.costs.syscall + self.lib.costs.driver)
         moved = 0
         for desc in descs:
             yield self.sim.timeout(self.costs.per_chunk)
@@ -293,7 +217,6 @@ class VPhiBackend:
             yield from self.lib.rma_sg(ep, local_sg, desc.len, roffset + moved,
                                        direction, flags)
             moved += desc.len
-        yield self.sim.timeout(self.lib.costs.completion)
         return moved
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,10 +10,10 @@ and selectable for the ablation benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..mem import KMALLOC_MAX_SIZE
-from .protocol import VPhiOp
+from .ops import default_nonblocking_ops
 
 __all__ = ["WaitMode", "VPhiConfig"]
 
@@ -26,12 +26,6 @@ class WaitMode:
     HYBRID = "hybrid"
 
     ALL = (INTERRUPT, POLLING, HYBRID)
-
-
-#: operations whose backend handling must not freeze the VM indefinitely.
-_DEFAULT_NONBLOCKING = frozenset(
-    {VPhiOp.ACCEPT, VPhiOp.POLL, VPhiOp.FENCE_WAIT, VPhiOp.FENCE_SIGNAL}
-)
 
 
 @dataclass
@@ -47,7 +41,9 @@ class VPhiConfig:
     #: kmalloc bounce chunk size (the x86_64 KMALLOC_MAX_SIZE).
     chunk_size: int = KMALLOC_MAX_SIZE
     #: ops handled on a QEMU worker thread instead of freezing the VM.
-    nonblocking_ops: frozenset = _DEFAULT_NONBLOCKING
+    #: The default is derived from the op registry's blocking classes
+    #: (each op declares its class exactly once in :mod:`repro.vphi.ops`).
+    nonblocking_ops: frozenset = field(default_factory=default_nonblocking_ops)
     #: EVENT_IDX-style notification suppression: skip kicks while the
     #: backend is draining, coalesce completion interrupts.  Off by
     #: default (the paper's prototype predates it); ablation A7 measures
@@ -64,5 +60,5 @@ class VPhiConfig:
         if self.hybrid_threshold < 0:
             raise ValueError("hybrid_threshold must be >= 0")
 
-    def is_blocking(self, op: VPhiOp) -> bool:
+    def is_blocking(self, op) -> bool:
         return op not in self.nonblocking_ops

@@ -11,23 +11,71 @@ Per request it: copies user data into kmalloc'd bounce chunks (the *only*
 copies on the whole path, §III/Fig 3 steps 3i/3ii), posts the chunk
 references on the virtio ring, kicks the backend, and parks the caller on
 the configured wait scheme until the completion interrupt.
+
+Requests are described by the :mod:`~repro.vphi.ops` registry (marshal
+rules, trace keys); :meth:`VPhiFrontend.submit_batch` posts several
+registry-described requests back-to-back with a single kick, which the
+segmented-transfer loop in :meth:`VPhiFrontend.submit` uses to avoid one
+vmexit per segment (ablation A8 quantifies the saving).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..analysis.calibration import HOST, VPHI_COSTS, HostParams, VPhiCosts
-from ..sim import Simulator, Tracer, WaitQueue
+from ..sim import SimError, Simulator, Tracer, WaitQueue
 from ..virtio import VirtioDevice
 from .chunking import BounceBuffers
 from .config import VPhiConfig
+from .ops import spec_for
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
 from .wait import make_wait_scheme
 
-__all__ = ["VPhiFrontend"]
+__all__ = ["BatchCall", "VPhiFrontend"]
+
+
+@dataclass
+class BatchCall:
+    """One registry-described request inside a :meth:`submit_batch`."""
+
+    op: VPhiOp
+    handle: int = 0
+    args: Optional[dict] = None
+    out_data: Optional[np.ndarray] = None
+    in_nbytes: int = 0
+
+
+class _Prepared:
+    """A marshalled request whose bounce chunks are live in guest memory."""
+
+    __slots__ = ("spec", "req", "hdr_ext", "out_bb", "in_bb",
+                 "out_descs", "in_descs")
+
+    def __init__(self, spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs):
+        self.spec = spec
+        self.req = req
+        self.hdr_ext = hdr_ext
+        self.out_bb = out_bb
+        self.in_bb = in_bb
+        self.out_descs = out_descs
+        self.in_descs = in_descs
+
+    @property
+    def needed_descriptors(self) -> int:
+        return len(self.out_descs) + len(self.in_descs)
+
+    def release(self, kmalloc) -> None:
+        if self.hdr_ext is not None and not self.hdr_ext.freed:
+            kmalloc.kfree(self.hdr_ext)
+        if self.out_bb is not None:
+            self.out_bb.free()
+        if self.in_bb is not None:
+            self.in_bb.free()
 
 
 class VPhiFrontend:
@@ -48,7 +96,9 @@ class VPhiFrontend:
         self.config = config or VPhiConfig()
         self.costs = costs
         self.host_params = host_params
-        self.tracer = tracer or Tracer()
+        # default to the owning VM's tracer so the frontend and backend
+        # share one timeline (two fresh Tracers would each hold half)
+        self.tracer = tracer or getattr(vm, "tracer", None) or Tracer()
         self.kmalloc = vm.guest_kernel.kmalloc
         self.waitq = WaitQueue(self.sim, name=f"{vm.name}-vphi-wait")
         #: submitters blocked on descriptor exhaustion (woken on reaping)
@@ -56,6 +106,9 @@ class VPhiFrontend:
         self.wait_scheme = make_wait_scheme(
             self.config.wait_mode, self.config.hybrid_threshold, costs
         )
+        #: request tags are per-VM (deterministic per run; independent
+        #: Simulator instances never share a counter).
+        self._tags = itertools.count(1)
         #: completed responses awaiting their caller, by tag.
         self.responses: dict[int, VPhiResponse] = {}
         virtio.bind_guest_isr(self.irq_handler)
@@ -112,35 +165,97 @@ class VPhiFrontend:
         if the operation failed.
 
         Transfers whose bounce chunks would not fit the descriptor ring
-        are split into sequential ring submissions (each paying its own
-        round trip — the real driver does the same when a request exceeds
-        the ring).  ``segment_args(args, byte_offset)`` rewrites the
+        are split into sequential ring submissions (the real driver does
+        the same when a request exceeds the ring) — posted as one batch
+        so the whole sequence shares kicks instead of paying one vmexit
+        per segment.  ``segment_args(args, byte_offset)`` rewrites the
         op-specific arguments for each segment (RMA offsets advance).
         """
         max_data_descs = self.virtio.ring.size // 2
         max_segment = max_data_descs * self.config.chunk_size
         total = len(out_data) if out_data is not None else in_nbytes
         if total > max_segment:
-            results = []
-            gathered = []
+            calls = []
             off = 0
             while off < total:
                 take = min(max_segment, total - off)
-                seg_args = segment_args(args, off) if segment_args else args
-                seg_out = out_data[off : off + take] if out_data is not None else None
-                seg_in = take if in_nbytes else 0
-                result, data = yield from self._submit_one(
-                    op, handle, seg_args, seg_out, seg_in
-                )
-                results.append(result)
-                if data is not None:
-                    gathered.append(data)
+                calls.append(BatchCall(
+                    op=op,
+                    handle=handle,
+                    args=segment_args(args, off) if segment_args else args,
+                    out_data=(out_data[off : off + take]
+                              if out_data is not None else None),
+                    in_nbytes=take if in_nbytes else 0,
+                ))
                 off += take
+            pairs = yield from self.submit_batch(calls)
+            results = [r for r, _ in pairs]
+            gathered = [d for _, d in pairs if d is not None]
             agg = sum(r for r in results if isinstance(r, (int, float)))
             in_data = np.concatenate(gathered) if gathered else None
             return agg, in_data
         result, data = yield from self._submit_one(op, handle, args, out_data, in_nbytes)
         return result, data
+
+    def submit_batch(self, calls: Sequence[BatchCall]):
+        """Process: forward several requests with coalesced kicks.
+
+        Each call's chain is marshalled and posted back-to-back; the
+        backend is kicked once per posting window (exactly once when the
+        whole batch fits the descriptor ring) instead of once per
+        request, then every response is reaped in submission order.
+
+        Returns ``[(result, in_data), ...]`` aligned with ``calls``.  If
+        any request failed, the first host-side error is raised — but
+        only after every response has been reaped, so no bounce chunk is
+        freed while the backend may still write it.
+        """
+        calls = list(calls)
+        if not calls:
+            return []
+        t0_batch = self.sim.now
+        acc = self.tracer.accumulate
+        prepared: list[_Prepared] = []
+        try:
+            # post every chain, kicking only when the ring runs out of
+            # room (the parked-for-space path needs the backend running
+            # to make progress) and once at the end for the remainder.
+            unkicked: list[_Prepared] = []
+            for call in calls:
+                p = yield from self._prepare(
+                    call.op, call.handle, call.args, call.out_data, call.in_nbytes
+                )
+                prepared.append(p)
+                if self.virtio.ring.num_free < p.needed_descriptors and unkicked:
+                    yield from self._kick(unkicked)
+                    unkicked = []
+                yield from self._post_chain(p)
+                unkicked.append(p)
+            if unkicked:
+                yield from self._kick(unkicked)
+            # reap in submission order; out-of-order completions park in
+            # the response table until their turn.
+            out: list[tuple] = []
+            first_error: Optional[Exception] = None
+            for p in prepared:
+                resp = yield from self._reap(p)
+                if resp.error is not None:
+                    if first_error is None:
+                        first_error = resp.error
+                    out.append((None, None))
+                    continue
+                result, in_data = yield from self._finish(p, resp)
+                out.append((result, in_data))
+                self.tracer.observe(p.spec.latency_key, self.sim.now - t0_batch)
+            if first_error is not None:
+                raise first_error
+            # one response demux + syscall return for the whole batch
+            yield self.sim.timeout(self.costs.guest_return)
+            acc("vphi.phase.guest_return", self.costs.guest_return)
+            return out
+        finally:
+            for p in prepared:
+                p.release(self.kmalloc)
 
     def _submit_one(
         self,
@@ -151,6 +266,37 @@ class VPhiFrontend:
         in_nbytes: int = 0,
     ):
         """One ring submission (at most ring-size/2 data descriptors)."""
+        t0_req = self.sim.now
+        acc = self.tracer.accumulate
+        p = yield from self._prepare(op, handle, args, out_data, in_nbytes)
+        try:
+            yield from self._post_chain(p)
+            yield from self._kick([p])
+            resp = yield from self._reap(p)
+            if resp.error is not None:
+                raise resp.error
+            result, in_data = yield from self._finish(p, resp)
+            # response demux + syscall return to user space
+            yield self.sim.timeout(self.costs.guest_return)
+            acc("vphi.phase.guest_return", self.costs.guest_return)
+            self.tracer.observe(p.spec.latency_key, self.sim.now - t0_req)
+            return result, in_data
+        finally:
+            p.release(self.kmalloc)
+
+    # ------------------------------------------------------------------
+    # the four stages every submission goes through
+    # ------------------------------------------------------------------
+    def _prepare(
+        self,
+        op: VPhiOp,
+        handle: int,
+        args: Optional[dict],
+        out_data: Optional[np.ndarray],
+        in_nbytes: int,
+    ):
+        """Marshal one request: header + bounce chunks + user->kernel copy."""
+        spec = spec_for(op)
         self.requests += 1
         acc = self.tracer.accumulate
         # 3b/3c: request marshalling in the guest kernel
@@ -177,57 +323,72 @@ class VPhiFrontend:
             if in_nbytes:
                 in_bb = BounceBuffers(self.kmalloc, in_nbytes, self.config.chunk_size)
                 in_descs = in_bb.descriptors()
-            req = VPhiRequest(
-                op=op,
-                handle=handle,
-                args=dict(args or {}),
-                out_nbytes=0 if out_data is None else len(out_data),
-                in_nbytes=in_nbytes,
-            )
-            # back-pressure: park until the ring has room for the chain
-            # (the real driver sleeps on virtqueue_add failure too)
-            needed = len(out_descs) + len(in_descs)
-            while self.virtio.ring.num_free < needed:
-                yield self.ring_space.wait()
-            self.virtio.ring.add_chain(out=out_descs, inb=in_descs, header=req)
-            self.tracer.count(f"vphi.op.{op.value}")
-            self.tracer.emit("vphi.timeline", "request posted to ring",
-                             tag=req.tag, op=op.value)
-            # 3c: notify the backend (vmexit)
-            t0 = self.sim.now
-            yield from self.virtio.kick()
-            acc("vphi.phase.kick", self.sim.now - t0)
-            self.tracer.emit("vphi.timeline", "backend kicked (vmexit)",
-                             tag=req.tag, op=op.value)
-            data_bytes = max(req.out_nbytes, req.in_nbytes)
-            t0 = self.sim.now
-            resp: VPhiResponse = yield from self.wait_scheme.wait_for(
-                self, req.tag, data_bytes
-            )
-            # time parked waiting = backend + host op + irq + wakeup; the
-            # wakeup share is accumulated separately by the wait scheme.
-            acc("vphi.phase.wait", self.sim.now - t0)
-            self.tracer.emit("vphi.timeline", "response reaped after wakeup",
-                             tag=req.tag, op=op.value)
-            if resp.error is not None:
-                raise resp.error
-            in_data = None
-            if in_bb is not None and resp.written:
-                # 3ii: the kernel->user copy
-                copy_t = resp.written / self.host_params.memcpy_bandwidth
-                yield self.sim.timeout(copy_t)
-                acc("vphi.phase.copy", copy_t)
-                in_data = in_bb.gather(resp.written)
-            # response demux + syscall return to user space
-            yield self.sim.timeout(self.costs.guest_return)
-            acc("vphi.phase.guest_return", self.costs.guest_return)
-            return resp.result, in_data
-        finally:
+        except Exception:
             self.kmalloc.kfree(hdr_ext)
             if out_bb is not None:
                 out_bb.free()
-            if in_bb is not None:
-                in_bb.free()
+            raise
+        req = VPhiRequest(
+            op=op,
+            handle=handle,
+            args=dict(args or {}),
+            out_nbytes=0 if out_data is None else len(out_data),
+            in_nbytes=in_nbytes,
+            tag=next(self._tags),
+        )
+        return _Prepared(spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs)
+
+    def _post_chain(self, p: _Prepared):
+        """Put one prepared chain on the ring, parking on exhaustion.
+
+        Back-pressure: park until the ring has room for the chain (the
+        real driver sleeps on virtqueue_add failure too).
+        """
+        if p.needed_descriptors > self.virtio.ring.size:
+            raise SimError(
+                f"{self.vm.name}: chain of {p.needed_descriptors} descriptors "
+                f"can never fit a ring of {self.virtio.ring.size}"
+            )
+        while self.virtio.ring.num_free < p.needed_descriptors:
+            yield self.ring_space.wait()
+        self.virtio.ring.add_chain(out=p.out_descs, inb=p.in_descs, header=p.req)
+        self.tracer.count(p.spec.counter_key)
+        self.tracer.emit("vphi.timeline", "request posted to ring",
+                         tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
+
+    def _kick(self, group: list[_Prepared]):
+        """Notify the backend once for every chain posted since the last
+        kick (3c: one vmexit, however many requests it covers)."""
+        t0 = self.sim.now
+        yield from self.virtio.kick()
+        self.tracer.accumulate("vphi.phase.kick", self.sim.now - t0)
+        for p in group:
+            self.tracer.emit("vphi.timeline", "backend kicked (vmexit)",
+                             tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
+
+    def _reap(self, p: _Prepared):
+        """Park on the configured wait scheme until p's response lands."""
+        data_bytes = max(p.req.out_nbytes, p.req.in_nbytes)
+        t0 = self.sim.now
+        resp: VPhiResponse = yield from self.wait_scheme.wait_for(
+            self, p.req.tag, data_bytes
+        )
+        # time parked waiting = backend + host op + irq + wakeup; the
+        # wakeup share is accumulated separately by the wait scheme.
+        self.tracer.accumulate("vphi.phase.wait", self.sim.now - t0)
+        self.tracer.emit("vphi.timeline", "response reaped after wakeup",
+                         tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
+        return resp
+
+    def _finish(self, p: _Prepared, resp: VPhiResponse):
+        """Gather the device->guest payload (3ii: the kernel->user copy)."""
+        in_data = None
+        if p.in_bb is not None and resp.written:
+            copy_t = resp.written / self.host_params.memcpy_bandwidth
+            yield self.sim.timeout(copy_t)
+            self.tracer.accumulate("vphi.phase.copy", copy_t)
+            in_data = p.in_bb.gather(resp.written)
+        return resp.result, in_data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

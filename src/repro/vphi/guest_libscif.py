@@ -8,6 +8,12 @@ method set with the same semantics, so the same client code runs
 unmodified on the host or inside a VM — only the object it is handed
 differs.  Underneath, every call is intercepted by the frontend driver
 and forwarded over virtio (Fig 3, steps 3a-3e).
+
+Marshalling is generic: each wrapper hands its scalar arguments to
+:meth:`GuestScif._forward`, which looks the operation up in the
+:mod:`~repro.vphi.ops` registry and applies that op's declared argument
+specs (defaults, wire conversions).  The wrappers keep only what is
+genuinely guest-side: page pinning, VMA management, endpoint bookkeeping.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from ..oscore import OSProcess
 from ..scif import EINVAL, MapFlag, PollEvent, Prot, RecvFlag, RmaFlag, SendFlag
 from ..scif.api import DataLike, as_bytes_array
 from .frontend import VPhiFrontend
+from .ops import spec_for
 from .protocol import VPhiOp
 
 __all__ = ["GuestEndpoint", "GuestScif"]
@@ -53,10 +60,37 @@ class GuestScif:
         self.process = process
 
     # ------------------------------------------------------------------
+    def _forward(
+        self,
+        op: VPhiOp,
+        ep: Optional[GuestEndpoint] = None,
+        out_data=None,
+        in_nbytes: int = 0,
+        segment_args=None,
+        **call_args,
+    ):
+        """Marshal one intercepted call from its op spec and forward it.
+
+        The registry supplies the marshal rules (scalar args, defaults,
+        wire conversions); the frontend does the rest of Fig 3.
+        Returns ``(result, in_data)``.
+        """
+        spec = spec_for(op)
+        result, data = yield from self.frontend.submit(
+            op,
+            handle=ep.handle if spec.wants_endpoint and ep is not None else 0,
+            args=spec.marshal(call_args),
+            out_data=out_data,
+            in_nbytes=in_nbytes,
+            segment_args=segment_args,
+        )
+        return result, data
+
+    # ------------------------------------------------------------------
     # endpoint lifecycle
     # ------------------------------------------------------------------
     def open(self):
-        handle, _ = yield from self.frontend.submit(VPhiOp.OPEN)
+        handle, _ = yield from self._forward(VPhiOp.OPEN)
         return GuestEndpoint(handle)
 
     def close(self, ep: GuestEndpoint):
@@ -64,34 +98,26 @@ class GuestScif:
             if pinned.active:
                 pinned.unpin()
         ep._windows.clear()
-        yield from self.frontend.submit(VPhiOp.CLOSE, handle=ep.handle)
+        yield from self._forward(VPhiOp.CLOSE, ep)
         return 0
 
     def bind(self, ep: GuestEndpoint, port: int = 0):
-        bound, _ = yield from self.frontend.submit(
-            VPhiOp.BIND, handle=ep.handle, args={"port": port}
-        )
+        bound, _ = yield from self._forward(VPhiOp.BIND, ep, port=port)
         ep.port = bound
         return bound
 
     def listen(self, ep: GuestEndpoint, backlog: int = 16):
-        yield from self.frontend.submit(
-            VPhiOp.LISTEN, handle=ep.handle, args={"backlog": backlog}
-        )
+        yield from self._forward(VPhiOp.LISTEN, ep, backlog=backlog)
         return 0
 
     def connect(self, ep: GuestEndpoint, addr: tuple[int, int]):
-        port, _ = yield from self.frontend.submit(
-            VPhiOp.CONNECT, handle=ep.handle, args={"addr": tuple(addr)}
-        )
+        port, _ = yield from self._forward(VPhiOp.CONNECT, ep, addr=addr)
         ep.port = port
         ep.peer_addr = tuple(addr)
         return port
 
     def accept(self, lep: GuestEndpoint, block: bool = True):
-        (handle, peer), _ = yield from self.frontend.submit(
-            VPhiOp.ACCEPT, handle=lep.handle, args={"block": block}
-        )
+        (handle, peer), _ = yield from self._forward(VPhiOp.ACCEPT, lep, block=block)
         conn = GuestEndpoint(handle)
         conn.port = lep.port
         conn.peer_addr = tuple(peer)
@@ -103,18 +129,15 @@ class GuestScif:
     def send(self, ep: GuestEndpoint, data: DataLike,
              flags: SendFlag = SendFlag.SCIF_SEND_BLOCK):
         payload = as_bytes_array(data)
-        n, _ = yield from self.frontend.submit(
-            VPhiOp.SEND, handle=ep.handle, args={"flags": int(flags)},
-            out_data=payload,
+        n, _ = yield from self._forward(
+            VPhiOp.SEND, ep, out_data=payload, flags=flags
         )
         return n
 
     def recv(self, ep: GuestEndpoint, nbytes: int,
              flags: RecvFlag = RecvFlag.SCIF_RECV_BLOCK):
-        n, data = yield from self.frontend.submit(
-            VPhiOp.RECV, handle=ep.handle,
-            args={"nbytes": nbytes, "flags": int(flags)},
-            in_nbytes=nbytes,
+        n, data = yield from self._forward(
+            VPhiOp.RECV, ep, in_nbytes=nbytes, nbytes=nbytes, flags=flags
         )
         if data is None:
             data = np.empty(0, dtype=np.uint8)
@@ -143,15 +166,9 @@ class GuestScif:
             raise EINVAL("SCIF_MAP_FIXED requires an offset")
         pinned = self.process.address_space.pin(vaddr, nbytes)
         try:
-            ras_offset, _ = yield from self.frontend.submit(
-                VPhiOp.REGISTER,
-                handle=ep.handle,
-                args={
-                    "sg": pinned.sg,
-                    "nbytes": nbytes,
-                    "offset": offset,
-                    "prot": int(prot),
-                },
+            ras_offset, _ = yield from self._forward(
+                VPhiOp.REGISTER, ep,
+                sg=pinned.sg, nbytes=nbytes, offset=offset, prot=prot,
             )
         except Exception:
             pinned.unpin()
@@ -160,9 +177,7 @@ class GuestScif:
         return ras_offset
 
     def unregister(self, ep: GuestEndpoint, offset: int):
-        yield from self.frontend.submit(
-            VPhiOp.UNREGISTER, handle=ep.handle, args={"offset": offset}
-        )
+        yield from self._forward(VPhiOp.UNREGISTER, ep, offset=offset)
         pinned = ep._windows.pop(offset, None)
         if pinned is not None and pinned.active:
             pinned.unpin()
@@ -170,19 +185,17 @@ class GuestScif:
 
     def readfrom(self, ep: GuestEndpoint, loffset: int, nbytes: int, roffset: int,
                  flags: RmaFlag = RmaFlag.NONE):
-        n, _ = yield from self.frontend.submit(
-            VPhiOp.READFROM, handle=ep.handle,
-            args={"loffset": loffset, "nbytes": nbytes, "roffset": roffset,
-                  "flags": int(flags)},
+        n, _ = yield from self._forward(
+            VPhiOp.READFROM, ep,
+            loffset=loffset, nbytes=nbytes, roffset=roffset, flags=flags,
         )
         return n
 
     def writeto(self, ep: GuestEndpoint, loffset: int, nbytes: int, roffset: int,
                 flags: RmaFlag = RmaFlag.NONE):
-        n, _ = yield from self.frontend.submit(
-            VPhiOp.WRITETO, handle=ep.handle,
-            args={"loffset": loffset, "nbytes": nbytes, "roffset": roffset,
-                  "flags": int(flags)},
+        n, _ = yield from self._forward(
+            VPhiOp.WRITETO, ep,
+            loffset=loffset, nbytes=nbytes, roffset=roffset, flags=flags,
         )
         return n
 
@@ -192,11 +205,11 @@ class GuestScif:
         chunks (§III *Implementation details*: the receive/read case)."""
         if nbytes <= 0:
             raise EINVAL("RMA length must be positive")
-        n, data = yield from self.frontend.submit(
-            VPhiOp.VREADFROM, handle=ep.handle,
-            args={"roffset": roffset, "flags": int(flags)},
+        n, data = yield from self._forward(
+            VPhiOp.VREADFROM, ep,
             in_nbytes=nbytes,
             segment_args=lambda a, off: {**a, "roffset": roffset + off},
+            roffset=roffset, flags=flags,
         )
         self.process.address_space.write(vaddr, data[:n])
         return n
@@ -207,11 +220,11 @@ class GuestScif:
         if nbytes <= 0:
             raise EINVAL("RMA length must be positive")
         payload = self.process.address_space.read(vaddr, nbytes)
-        n, _ = yield from self.frontend.submit(
-            VPhiOp.VWRITETO, handle=ep.handle,
-            args={"roffset": roffset, "flags": int(flags)},
+        n, _ = yield from self._forward(
+            VPhiOp.VWRITETO, ep,
             out_data=payload,
             segment_args=lambda a, off: {**a, "roffset": roffset + off},
+            roffset=roffset, flags=flags,
         )
         return n
 
@@ -222,9 +235,8 @@ class GuestScif:
              prot: Prot = Prot.SCIF_PROT_READ | Prot.SCIF_PROT_WRITE) -> VMA:
         if nbytes <= 0 or nbytes % PAGE_SIZE or roffset % PAGE_SIZE:
             raise EINVAL("scif_mmap requires page-aligned offset and length")
-        info, _ = yield from self.frontend.submit(
-            VPhiOp.MMAP, handle=ep.handle,
-            args={"roffset": roffset, "nbytes": nbytes, "prot": int(prot)},
+        info, _ = yield from self._forward(
+            VPhiOp.MMAP, ep, roffset=roffset, nbytes=nbytes, prot=prot
         )
         assert isinstance(info, PfnPhiInfo)
         space = self.process.address_space
@@ -252,21 +264,18 @@ class GuestScif:
     # fences, poll, node ids
     # ------------------------------------------------------------------
     def fence_mark(self, ep: GuestEndpoint):
-        mark, _ = yield from self.frontend.submit(VPhiOp.FENCE_MARK, handle=ep.handle)
+        mark, _ = yield from self._forward(VPhiOp.FENCE_MARK, ep)
         return mark
 
     def fence_wait(self, ep: GuestEndpoint, mark: int):
-        yield from self.frontend.submit(
-            VPhiOp.FENCE_WAIT, handle=ep.handle, args={"mark": mark}
-        )
+        yield from self._forward(VPhiOp.FENCE_WAIT, ep, mark=mark)
         return 0
 
     def fence_signal(self, ep: GuestEndpoint, loffset, lval: int,
                      roffset, rval: int):
-        yield from self.frontend.submit(
-            VPhiOp.FENCE_SIGNAL, handle=ep.handle,
-            args={"loffset": loffset, "lval": lval,
-                  "roffset": roffset, "rval": rval},
+        yield from self._forward(
+            VPhiOp.FENCE_SIGNAL, ep,
+            loffset=loffset, lval=lval, roffset=roffset, rval=rval,
         )
         return 0
 
@@ -277,18 +286,16 @@ class GuestScif:
         endpoint per request)."""
         if len(fds) == 1:
             ep, mask = fds[0]
-            revents, _ = yield from self.frontend.submit(
-                VPhiOp.POLL, handle=ep.handle,
-                args={"mask": int(mask), "timeout": timeout},
+            revents, _ = yield from self._forward(
+                VPhiOp.POLL, ep, mask=mask, timeout=timeout
             )
             return [PollEvent(revents)]
         deadline = None if timeout is None else self.sim.now + timeout
         while True:
             out = []
             for ep, mask in fds:
-                revents, _ = yield from self.frontend.submit(
-                    VPhiOp.POLL, handle=ep.handle,
-                    args={"mask": int(mask), "timeout": 0},
+                revents, _ = yield from self._forward(
+                    VPhiOp.POLL, ep, mask=mask, timeout=0
                 )
                 out.append(PollEvent(revents))
             if any(out):
@@ -298,5 +305,5 @@ class GuestScif:
             yield self.sim.timeout(self.frontend.costs.poll_interval * 100)
 
     def get_node_ids(self):
-        ids, _ = yield from self.frontend.submit(VPhiOp.GET_NODE_IDS)
+        ids, _ = yield from self._forward(VPhiOp.GET_NODE_IDS)
         return ids

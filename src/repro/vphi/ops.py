@@ -1,0 +1,489 @@
+"""The SCIF operation registry: one declaration per forwarded operation.
+
+The vPHI datapath (§III, Fig 3) forwards ~20 SCIF operations guest ->
+frontend -> virtio ring -> backend -> host driver.  Everything the stack
+needs to know about one operation is declared *here*, exactly once, as an
+:class:`OpSpec`:
+
+* **marshal rules** — which scalar arguments ride the request header
+  (:class:`ArgSpec`: name, default, wire conversion) and whether the op
+  carries an out (guest->host) or in (host->guest) bulk payload;
+* the **backend handler** — a small generator closing over the backend's
+  :class:`~repro.scif.NativeScif` that replays the call against the host
+  driver and returns ``(result, bytes_written)``;
+* the **blocking class** — whether QEMU services the request inline
+  (freezing the VM) or on a worker thread (ops with unbounded completion
+  time: accept/poll/fences);
+* the **trace phase label** and the derived per-op counter/latency keys
+  the frontend, backend and :mod:`repro.analysis.breakdown` share;
+* optional **cost hooks** — fixed simulated time charged host-side before
+  and after the handler (syscall entry, completion message).
+
+Every consumer derives its behaviour from the registry: the guest shim
+marshals generically, the backend dispatches by table lookup, the config
+computes its default non-blocking set, and the analysis layer enumerates
+per-op metrics without string literals.  Adding an operation (e.g. a COI
+extension) is one :func:`register` call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+from ..scif import ScifError
+from .protocol import VPhiOp
+
+__all__ = [
+    "REQUIRED",
+    "ArgSpec",
+    "BLOCKING",
+    "NONBLOCKING",
+    "OpSpec",
+    "default_nonblocking_ops",
+    "register",
+    "registered_ops",
+    "spec_for",
+    "temporary_op",
+]
+
+
+class _Required:
+    """Sentinel: the argument has no default and must be supplied."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<REQUIRED>"
+
+
+REQUIRED = _Required()
+
+#: blocking classes (§III, *Blocking vs non-blocking mode*)
+BLOCKING = "blocking"
+NONBLOCKING = "nonblocking"
+
+
+@dataclass(frozen=True)
+class ArgSpec:
+    """One scalar argument riding the request header."""
+
+    name: str
+    default: Any = REQUIRED
+    #: wire conversion applied while marshalling (e.g. ``int`` flattens
+    #: IntFlag values, ``tuple`` freezes address pairs).  ``None`` values
+    #: pass through unconverted (optional arguments).
+    convert: Optional[Callable[[Any], Any]] = None
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Everything the stack knows about one forwarded SCIF operation."""
+
+    op: Any  # VPhiOp member (or any op-like object with a .value name)
+    handler: Callable  # generator: (backend, req, elem, args) -> (result, written)
+    args: tuple[ArgSpec, ...] = ()
+    blocking_class: str = BLOCKING
+    #: trace phase label (timeline annotations; defaults to the wire name).
+    phase: str = ""
+    #: the op references an existing backend endpoint via ``req.handle``.
+    wants_endpoint: bool = True
+    #: op may carry a guest->host bulk payload (out descriptors).
+    carries_out: bool = False
+    #: op may carry a host->guest bulk payload (in descriptors).
+    carries_in: bool = False
+    #: fixed host-side simulated seconds charged before/after the handler
+    #: (syscall entry + driver dispatch, completion message, ...).
+    pre_cost: Optional[Callable] = None  # (backend, req) -> float
+    post_cost: Optional[Callable] = None  # (backend, req) -> float
+
+    # ------------------------------------------------------------------
+    # derived trace keys: the single source the frontend, backend and
+    # analysis layers share (no string literals anywhere else).
+    # ------------------------------------------------------------------
+    @property
+    def op_name(self) -> str:
+        return self.op.value
+
+    @property
+    def counter_key(self) -> str:
+        """Frontend: requests submitted."""
+        return f"vphi.op.{self.op_name}"
+
+    @property
+    def served_key(self) -> str:
+        """Backend: requests completed (including errors)."""
+        return f"vphi.op.{self.op_name}.served"
+
+    @property
+    def error_key(self) -> str:
+        """Backend: requests that returned a ScifError."""
+        return f"vphi.op.{self.op_name}.errors"
+
+    @property
+    def latency_key(self) -> str:
+        """Frontend: per-request ring round-trip latency stat."""
+        return f"vphi.op.{self.op_name}.latency"
+
+    @property
+    def blocking(self) -> bool:
+        return self.blocking_class == BLOCKING
+
+    # ------------------------------------------------------------------
+    def marshal(self, call_args: dict) -> dict:
+        """Build the request's scalar-argument dict from a guest call.
+
+        Applies defaults and wire conversions; unknown or missing
+        arguments are programming errors and raise ScifError.
+        """
+        known = {a.name for a in self.args}
+        extra = set(call_args) - known
+        if extra:
+            raise ScifError(
+                f"vphi op {self.op_name!r}: unexpected argument(s) {sorted(extra)}"
+            )
+        wire = {}
+        for spec in self.args:
+            if spec.name in call_args:
+                value = call_args[spec.name]
+            elif spec.default is not REQUIRED:
+                value = spec.default
+            else:
+                raise ScifError(
+                    f"vphi op {self.op_name!r}: missing argument {spec.name!r}"
+                )
+            if spec.convert is not None and value is not None:
+                value = spec.convert(value)
+            wire[spec.name] = value
+        return wire
+
+
+#: the registry: op -> spec.  Keyed by the op object itself so test-only
+#: operations (any hashable with a ``.value`` wire name) register the
+#: same way the built-in :class:`VPhiOp` members do.
+_REGISTRY: dict[Any, OpSpec] = {}
+
+
+def register(
+    op: Any,
+    *,
+    args: tuple[ArgSpec, ...] = (),
+    blocking_class: str = BLOCKING,
+    phase: str = "",
+    wants_endpoint: bool = True,
+    carries_out: bool = False,
+    carries_in: bool = False,
+    pre_cost: Optional[Callable] = None,
+    post_cost: Optional[Callable] = None,
+) -> Callable:
+    """Decorator: register ``op``'s backend handler plus its declaration.
+
+    The decorated function is a generator ``(backend, req, elem, args)``
+    returning ``(result, written)``; it runs inside the QEMU backend, so
+    ``backend.lib`` is the host-side :class:`~repro.scif.NativeScif`.
+    """
+    if blocking_class not in (BLOCKING, NONBLOCKING):
+        raise ValueError(f"unknown blocking class {blocking_class!r}")
+
+    def wrap(handler: Callable) -> Callable:
+        if op in _REGISTRY:
+            raise ValueError(f"vphi op {op!r} registered twice")
+        _REGISTRY[op] = OpSpec(
+            op=op,
+            handler=handler,
+            args=tuple(args),
+            blocking_class=blocking_class,
+            phase=phase or op.value,
+            wants_endpoint=wants_endpoint,
+            carries_out=carries_out,
+            carries_in=carries_in,
+            pre_cost=pre_cost,
+            post_cost=post_cost,
+        )
+        return handler
+
+    return wrap
+
+
+def spec_for(op: Any) -> OpSpec:
+    """The registered spec for ``op`` (ScifError on unknown ops)."""
+    try:
+        return _REGISTRY[op]
+    except KeyError:
+        raise ScifError(f"vphi: unknown op {op!r}") from None
+
+
+def registered_ops() -> tuple[OpSpec, ...]:
+    """All registered specs, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def default_nonblocking_ops() -> frozenset:
+    """Ops whose backend handling must not freeze the VM indefinitely —
+    derived from the registry's blocking classes (consumed by
+    :class:`~repro.vphi.config.VPhiConfig`)."""
+    return frozenset(s.op for s in _REGISTRY.values() if not s.blocking)
+
+
+@contextlib.contextmanager
+def temporary_op(op: Any, handler: Callable, **kwargs) -> Iterator[OpSpec]:
+    """Register ``op`` with ``handler`` for the ``with`` body, then remove
+    it — the one-registration-site seam the unit tests exercise."""
+    register(op, **kwargs)(handler)
+    try:
+        yield _REGISTRY[op]
+    finally:
+        _REGISTRY.pop(op, None)
+
+
+# ======================================================================
+# cost hooks shared by the RMA family: one host ioctl pays syscall entry
+# + driver dispatch up front and one completion message at the end.
+# ======================================================================
+def _rma_pre_cost(backend, req) -> float:
+    return backend.lib.costs.syscall + backend.lib.costs.driver
+
+
+def _rma_post_cost(backend, req) -> float:
+    return backend.lib.costs.completion
+
+
+# ======================================================================
+# the built-in SCIF operation set (§III, Fig 3): every op exactly once.
+# ======================================================================
+@register(VPhiOp.OPEN, wants_endpoint=False)
+def _open(backend, req, elem, a):
+    ep = yield from backend.lib.open()
+    return backend.new_handle(ep), 0
+
+
+@register(VPhiOp.CLOSE)
+def _close(backend, req, elem, a):
+    ep = backend.endpoint(req.handle)
+    yield from backend.lib.close(ep)
+    backend.drop_handle(req.handle)
+    return 0, 0
+
+
+@register(VPhiOp.BIND, args=(ArgSpec("port", default=0, convert=int),))
+def _bind(backend, req, elem, a):
+    port = yield from backend.lib.bind(backend.endpoint(req.handle), a["port"])
+    return port, 0
+
+
+@register(VPhiOp.LISTEN, args=(ArgSpec("backlog", default=16, convert=int),))
+def _listen(backend, req, elem, a):
+    yield from backend.lib.listen(backend.endpoint(req.handle), a["backlog"])
+    return 0, 0
+
+
+@register(VPhiOp.CONNECT, args=(ArgSpec("addr", convert=tuple),))
+def _connect(backend, req, elem, a):
+    port = yield from backend.lib.connect(
+        backend.endpoint(req.handle), tuple(a["addr"])
+    )
+    return port, 0
+
+
+@register(
+    VPhiOp.ACCEPT,
+    args=(ArgSpec("block", default=True, convert=bool),),
+    blocking_class=NONBLOCKING,  # completion time unbounded (§III)
+)
+def _accept(backend, req, elem, a):
+    conn, peer = yield from backend.lib.accept(
+        backend.endpoint(req.handle), block=a["block"]
+    )
+    return (backend.new_handle(conn), peer), 0
+
+
+@register(
+    VPhiOp.SEND,
+    args=(ArgSpec("flags", default=1, convert=int),),
+    carries_out=True,
+)
+def _send(backend, req, elem, a):
+    from ..scif import SendFlag
+
+    payload = backend.out_payload(elem)
+    n = yield from backend.lib.send(
+        backend.endpoint(req.handle), payload, SendFlag(a["flags"])
+    )
+    return n, 0
+
+
+@register(
+    VPhiOp.RECV,
+    args=(
+        ArgSpec("nbytes", convert=int),
+        ArgSpec("flags", default=1, convert=int),
+    ),
+    carries_in=True,
+)
+def _recv(backend, req, elem, a):
+    from ..scif import RecvFlag
+
+    data = yield from backend.lib.recv(
+        backend.endpoint(req.handle), a["nbytes"], RecvFlag(a["flags"])
+    )
+    written = backend.scatter_in(elem, data)
+    return len(data), written
+
+
+@register(
+    VPhiOp.REGISTER,
+    args=(
+        ArgSpec("sg"),
+        ArgSpec("nbytes", convert=int),
+        ArgSpec("offset", default=None),
+        ArgSpec("prot", default=3, convert=int),
+    ),
+)
+def _register_window(backend, req, elem, a):
+    from ..scif import Prot
+
+    # the guest pinned its pages; their SG rides the request
+    offset = yield from backend.lib.register_sg(
+        backend.endpoint(req.handle),
+        a["sg"],
+        a["nbytes"],
+        offset=a["offset"],
+        prot=Prot(a["prot"]),
+        label=f"{backend.vm.name}-guest-window",
+    )
+    return offset, 0
+
+
+@register(VPhiOp.UNREGISTER, args=(ArgSpec("offset", convert=int),))
+def _unregister_window(backend, req, elem, a):
+    yield from backend.lib.unregister(backend.endpoint(req.handle), a["offset"])
+    return 0, 0
+
+
+_RMA_ARGS = (
+    ArgSpec("loffset", convert=int),
+    ArgSpec("nbytes", convert=int),
+    ArgSpec("roffset", convert=int),
+    ArgSpec("flags", default=0, convert=int),
+)
+
+
+@register(VPhiOp.READFROM, args=_RMA_ARGS,
+          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+def _readfrom(backend, req, elem, a):
+    # window-to-window: both sides pinned, DMA direct (no bounce)
+    n = yield from backend.window_rma(req, "read")
+    return n, 0
+
+
+@register(VPhiOp.WRITETO, args=_RMA_ARGS,
+          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+def _writeto(backend, req, elem, a):
+    n = yield from backend.window_rma(req, "write")
+    return n, 0
+
+
+_VRMA_ARGS = (
+    ArgSpec("roffset", convert=int),
+    ArgSpec("flags", default=0, convert=int),
+)
+
+
+@register(VPhiOp.VREADFROM, args=_VRMA_ARGS, carries_in=True,
+          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+def _vreadfrom(backend, req, elem, a):
+    n = yield from backend.chunked_rma(req, elem, "read")
+    return n, n
+
+
+@register(VPhiOp.VWRITETO, args=_VRMA_ARGS, carries_out=True,
+          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+def _vwriteto(backend, req, elem, a):
+    n = yield from backend.chunked_rma(req, elem, "write")
+    return n, 0
+
+
+@register(
+    VPhiOp.MMAP,
+    args=(
+        ArgSpec("roffset", convert=int),
+        ArgSpec("nbytes", convert=int),
+        ArgSpec("prot", default=3, convert=int),
+    ),
+)
+def _mmap(backend, req, elem, a):
+    from ..kvm.fault import PfnPhiInfo
+    from ..scif import Prot
+
+    ep = backend.endpoint(req.handle)
+    if ep.peer is None:
+        raise ScifError("mmap on unconnected endpoint")
+    sg = ep.peer.windows.resolve(a["roffset"], a["nbytes"], Prot(a["prot"]))
+    yield backend.sim.timeout(backend.costs.backend)
+    # the "<15 LOC host SCIF driver" half: hand the frame numbers back so
+    # the guest VMA can be tagged VM_PFNPHI.
+    return PfnPhiInfo(sg), 0
+
+
+@register(VPhiOp.FENCE_MARK)
+def _fence_mark(backend, req, elem, a):
+    mark = yield from backend.lib.fence_mark(backend.endpoint(req.handle))
+    return mark, 0
+
+
+@register(
+    VPhiOp.FENCE_WAIT,
+    args=(ArgSpec("mark", convert=int),),
+    blocking_class=NONBLOCKING,  # waits for DMA completion: unbounded
+)
+def _fence_wait(backend, req, elem, a):
+    yield from backend.lib.fence_wait(backend.endpoint(req.handle), a["mark"])
+    return 0, 0
+
+
+@register(
+    VPhiOp.FENCE_SIGNAL,
+    args=(
+        ArgSpec("loffset"),
+        ArgSpec("lval", convert=int),
+        ArgSpec("roffset"),
+        ArgSpec("rval", convert=int),
+    ),
+    blocking_class=NONBLOCKING,
+)
+def _fence_signal(backend, req, elem, a):
+    yield from backend.lib.fence_signal(
+        backend.endpoint(req.handle), a["loffset"], a["lval"],
+        a["roffset"], a["rval"],
+    )
+    return 0, 0
+
+
+@register(VPhiOp.GET_NODE_IDS, wants_endpoint=False)
+def _get_node_ids(backend, req, elem, a):
+    ids = yield from backend.lib.get_node_ids()
+    return ids, 0
+
+
+@register(
+    VPhiOp.POLL,
+    args=(
+        ArgSpec("mask", convert=int),
+        ArgSpec("timeout", default=None),
+    ),
+    blocking_class=NONBLOCKING,  # completion time unbounded (§III)
+)
+def _poll(backend, req, elem, a):
+    from ..scif import PollEvent
+
+    revents = yield from backend.lib.poll(
+        [(backend.endpoint(req.handle), PollEvent(a["mask"]))],
+        timeout=a["timeout"],
+    )
+    return int(revents[0]), 0
+
+
+@register(VPhiOp.SYSFS_READ, args=(ArgSpec("path", convert=str),),
+          wants_endpoint=False)
+def _sysfs_read(backend, req, elem, a):
+    yield backend.sim.timeout(0)
+    return backend.host_kernel.sysfs.read(a["path"]), 0

@@ -9,13 +9,10 @@ referenced by guest-physical descriptors (the kmalloc bounce chunks), so
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["VPhiOp", "VPhiRequest", "VPhiResponse"]
-
-_tags = itertools.count(1)
 
 
 class VPhiOp(enum.Enum):
@@ -57,7 +54,10 @@ class VPhiRequest:
     #: descriptors accompanying the header.
     out_nbytes: int = 0
     in_nbytes: int = 0
-    tag: int = field(default_factory=lambda: next(_tags))
+    #: request/response correlation id.  Allocated by the *frontend* (one
+    #: counter per VM) so tags are deterministic per run and never leak
+    #: across Simulator instances or test orderings.
+    tag: int = 0
 
 
 @dataclass

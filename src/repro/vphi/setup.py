@@ -27,6 +27,11 @@ class VPhiInstance:
 
     def __init__(self, vm, virtio: VirtioDevice, frontend: VPhiFrontend,
                  backend: VPhiBackend, config: VPhiConfig):
+        if frontend.tracer is not backend.tracer:
+            raise SimError(
+                f"{vm.name}: vPHI frontend and backend use different tracers; "
+                "each would record half the timeline — pass one shared tracer"
+            )
         self.vm = vm
         self.virtio = virtio
         self.frontend = frontend
@@ -60,13 +65,14 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstan
         machine.fabric, machine.kernel.scif_node, vm.qemu_process,
         host_params=machine.host_params,
     )
-    # each frontend gets its own tracer so per-VM breakdowns don't mix
+    # frontend and backend share the VM's tracer: one timeline per VM, so
+    # per-VM breakdowns don't mix and no half of the path goes unrecorded
     frontend = VPhiFrontend(
         vm, virtio, config=config, host_params=machine.host_params,
+        tracer=vm.tracer,
     )
-    frontend.tracer.bind_clock(lambda: machine.sim.now)
     backend = VPhiBackend(
-        vm, virtio, lib, machine.kernel, config=config, tracer=machine.tracer
+        vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer
     )
     # replicate the host's mic sysfs inside the guest (live passthrough)
     for path, _ in machine.kernel.sysfs.walk():

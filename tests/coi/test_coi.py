@@ -5,7 +5,7 @@ import pytest
 
 from repro import Machine
 from repro.coi import COIConnection, COIError, start_coi_daemon
-from repro.mpss import MICBinary, register_binary
+from repro.mpss import MICBinary
 from repro.workloads import DGEMM_BINARY  # registers the dgemm binary
 from repro.workloads.microbench import ClientContext
 

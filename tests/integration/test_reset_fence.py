@@ -6,7 +6,6 @@ import pytest
 from repro import Machine
 from repro.phi import DeviceState
 from repro.scif import ECONNREFUSED, ScifError
-from repro.workloads import ClientContext
 
 MB = 1 << 20
 PORT = 9100

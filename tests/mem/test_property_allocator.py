@@ -1,6 +1,5 @@
 """Stateful property test: the physical allocator against a shadow model."""
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mem import AddressSpace, MemError, PAGE_SIZE, PhysicalMemory, SGEntry
-from repro.pcie import DMAEngine, PCIeLink, sg_copy, sg_total
+from repro.mem import MemError, PAGE_SIZE, PhysicalMemory, SGEntry
+from repro.pcie import DMAEngine, PCIeLink, sg_copy
 from repro.sim import Simulator, run_with
 
 MB = 1 << 20

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.calibration import GBPS
 from repro.pcie import GEN2, GEN3, LinkConfig, PCIeLink
 from repro.sim import Simulator, run_with, us
 

@@ -8,7 +8,6 @@ from repro.scif import (
     EINVAL,
     ENOTCONN,
     EpState,
-    Prot,
     RmaFlag,
 )
 

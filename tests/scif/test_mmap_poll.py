@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.mem import PAGE_SIZE, VMAFlag
-from repro.scif import EINVAL, PollEvent, Prot
-from repro.sim import ms, us
+from repro.scif import EINVAL, PollEvent
+from repro.sim import ms
 
 PORT = 2300
 MB = 1 << 20

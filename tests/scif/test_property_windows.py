@@ -1,6 +1,5 @@
 """Stateful property tests: the window registry's RAS invariants."""
 
-import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, rule

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.analysis.calibration import SCIF_COSTS
 from repro.mem import Buffer, PAGE_SIZE
 from repro.scif import EADDRINUSE, EINVAL, MapFlag, Prot, RmaFlag
 from repro.sim import us

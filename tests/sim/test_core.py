@@ -3,8 +3,6 @@
 import pytest
 
 from repro.sim import (
-    Domain,
-    Event,
     Interrupted,
     Killed,
     SimError,

@@ -1,9 +1,7 @@
 """Ring back-pressure: descriptor exhaustion parks submitters, no crash."""
 
-import pytest
 
 from repro import Machine
-from repro.vphi import VPhiConfig
 
 PORT = 9700
 

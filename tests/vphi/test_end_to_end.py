@@ -9,9 +9,8 @@ import numpy as np
 import pytest
 
 from repro.mem import Buffer
-from repro.scif import ECONNREFUSED, EpState
+from repro.scif import ECONNREFUSED
 from repro.sim import us
-from repro.vphi import VPhiOp
 
 PORT = 3000
 MB = 1 << 20

@@ -1,10 +1,8 @@
 """Fairness across sharing VMs: neither tenant starves the other."""
 
-import numpy as np
 import pytest
 
 from repro import Machine
-from repro.workloads import ClientContext
 
 MB = 1 << 20
 PORT = 8500

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.mem import Buffer, PAGE_SIZE, PageFault
-from repro.sim import us
 
 PORT = 3100
 MB = 1 << 20

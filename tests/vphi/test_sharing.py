@@ -5,9 +5,7 @@ sharing between multiple VMs running on the same physical node" (§I).
 """
 
 import numpy as np
-import pytest
 
-from repro.scif import EAGAIN
 from repro.sim import us
 
 PORT = 3300

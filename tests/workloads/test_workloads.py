@@ -1,6 +1,5 @@
 """Workload models: dgemm math, microbench helpers, offload registry."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
