@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Benchmark smoke gate: regenerate the Fig 4/5 series, diff against goldens.
+
+The simulation is deterministic, so the exact latency/throughput series
+behind Fig 4 (send-recv latency) and Fig 5 (remote-read throughput) are
+committed as golden JSON digests.  CI reruns both figures on every push:
+
+    python benchmarks/bench_smoke.py --check          # gate (exit 1 on drift)
+    python benchmarks/bench_smoke.py --check --out d/ # also dump series
+    python benchmarks/bench_smoke.py --update         # re-bless the goldens
+
+Any change that moves a single float in either series fails the gate —
+intentional model changes must re-bless with --update, which makes perf
+drift reviewable in the diff instead of silent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro import Machine  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    ClientContext,
+    rma_read_throughput,
+    sendrecv_latency,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+MB = 1 << 20
+FIG4_SIZES = [1, 64, 256, 1024, 4096, 16384, 65536]
+FIG5_SIZES = [64 * 1024, 256 * 1024, MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB]
+
+
+def _run_fig4() -> dict:
+    """Fig 4: send-receive latency (seconds) per size, native and vPHI."""
+    m = Machine(cards=1).boot()
+    native = sendrecv_latency(m, ClientContext.native(m), FIG4_SIZES)
+    m2 = Machine(cards=1).boot()
+    vm = m2.create_vm("vm0")
+    vphi = sendrecv_latency(m2, ClientContext.guest(vm), FIG4_SIZES)
+    return {
+        "figure": "fig4",
+        "unit": "seconds",
+        "native": [[s, t] for s, t in native],
+        "vphi": [[s, t] for s, t in vphi],
+    }
+
+
+def _run_fig5() -> dict:
+    """Fig 5: remote-read throughput (B/s) per size, native and vPHI."""
+    m = Machine(cards=1).boot()
+    native = rma_read_throughput(m, ClientContext.native(m), FIG5_SIZES)
+    m2 = Machine(cards=1).boot()
+    vm = m2.create_vm("vm0")
+    vphi = rma_read_throughput(m2, ClientContext.guest(vm), FIG5_SIZES)
+    return {
+        "figure": "fig5",
+        "unit": "bytes_per_second",
+        "native": [[s, bw] for s, bw in native],
+        "vphi": [[s, bw] for s, bw in vphi],
+    }
+
+
+FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5}
+
+
+def canonical(series: dict) -> str:
+    return json.dumps(series, sort_keys=True, indent=2) + "\n"
+
+
+def digest(series: dict) -> str:
+    return hashlib.sha256(canonical(series).encode()).hexdigest()
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def bless(name: str, series: dict) -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    payload = dict(series, sha256=digest(series))
+    golden_path(name).write_text(canonical(payload))
+    print(f"blessed {golden_path(name)} ({payload['sha256'][:12]})")
+
+
+def diff_series(name: str, golden: dict, got: dict) -> list[str]:
+    lines = []
+    for side in ("native", "vphi"):
+        for (gsize, gval), (size, val) in zip(golden[side], got[side]):
+            if gsize != size or gval != val:
+                lines.append(
+                    f"  {name}.{side} @ {gsize}: golden {gval!r} != got {val!r}"
+                )
+    return lines
+
+
+def check(name: str, series: dict, out_dir: Path | None) -> bool:
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.json").write_text(
+            canonical(dict(series, sha256=digest(series)))
+        )
+    path = golden_path(name)
+    if not path.exists():
+        print(f"FAIL {name}: no golden at {path} (run with --update)")
+        return False
+    golden = json.loads(path.read_text())
+    recorded = golden.pop("sha256", None)
+    if recorded != digest(golden):
+        print(f"FAIL {name}: golden file digest mismatch (corrupted golden?)")
+        return False
+    if digest(golden) == digest(series):
+        print(f"ok   {name}: series matches golden ({recorded[:12]})")
+        return True
+    print(f"FAIL {name}: series drifted from golden {path.name}")
+    for line in diff_series(name, golden, series)[:20]:
+        print(line)
+    return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true",
+                      help="regenerate series and fail on any drift")
+    mode.add_argument("--update", action="store_true",
+                      help="re-bless the golden files from a fresh run")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="directory to dump the regenerated series (artifacts)")
+    ap.add_argument("--figures", nargs="*", default=sorted(FIGURES),
+                    choices=sorted(FIGURES), help="subset of figures to run")
+    args = ap.parse_args(argv)
+
+    ok = True
+    for name in args.figures:
+        series = FIGURES[name]()
+        if args.update:
+            bless(name, series)
+        else:
+            ok &= check(name, series, args.out)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

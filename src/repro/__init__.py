@@ -14,8 +14,9 @@ See README.md for the architecture tour and DESIGN.md for the
 paper-to-module map.
 """
 
+from .faults import FaultKind, FaultPlan, FaultSpec
 from .system import Machine
 
 __version__ = "1.0.0"
 
-__all__ = ["Machine", "__version__"]
+__all__ = ["FaultKind", "FaultPlan", "FaultSpec", "Machine", "__version__"]

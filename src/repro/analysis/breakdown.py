@@ -77,6 +77,11 @@ class OpStats:
     served: int
     errors: int
     mean_latency: float  # seconds; 0.0 when nothing completed
+    #: fault-recovery accounting (all zero on fault-free runs)
+    injected: int = 0
+    retried: int = 0
+    recovered: int = 0
+    failed: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -103,7 +108,13 @@ def per_op_stats(frontend) -> list[OpStats]:
             continue
         stat = tracer.stats.get(spec.latency_key)
         mean_latency = stat.mean if stat is not None else 0.0
-        out.append(OpStats(spec.op_name, submitted, served, errors, mean_latency))
+        out.append(OpStats(
+            spec.op_name, submitted, served, errors, mean_latency,
+            injected=tracer.counters.get(spec.injected_key, 0),
+            retried=tracer.counters.get(spec.retried_key, 0),
+            recovered=tracer.counters.get(spec.recovered_key, 0),
+            failed=tracer.counters.get(spec.failed_key, 0),
+        ))
     out.sort(key=lambda s: s.submitted, reverse=True)
     return out
 
@@ -115,13 +126,22 @@ def render_per_op(frontend) -> str:
     if not rows:
         lines.append("  (no traffic)")
         return "\n".join(lines)
-    lines.append(f"  {'op':<14} {'submitted':>9} {'served':>7} "
-                 f"{'errors':>7} {'mean latency':>14}")
+    faulty = any(s.injected or s.retried or s.recovered or s.failed
+                 for s in rows)
+    header = (f"  {'op':<14} {'submitted':>9} {'served':>7} "
+              f"{'errors':>7} {'mean latency':>14}")
+    if faulty:
+        header += f" {'inj':>5} {'retry':>5} {'recov':>5} {'fail':>5}"
+    lines.append(header)
     for s in rows:
-        lines.append(
+        line = (
             f"  {s.op:<14} {s.submitted:>9} {s.served:>7} {s.errors:>7} "
             f"{s.mean_latency * 1e6:>11.1f} us"
         )
+        if faulty:
+            line += (f" {s.injected:>5} {s.retried:>5} "
+                     f"{s.recovered:>5} {s.failed:>5}")
+        lines.append(line)
     return "\n".join(lines)
 
 

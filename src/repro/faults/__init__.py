@@ -1,0 +1,35 @@
+"""Deterministic fault injection & recovery for the vPHI path.
+
+Declare a :class:`FaultPlan` (which faults, triggered by op index, op
+name, VM id or simulated-time window), hand it to
+:class:`~repro.system.Machine`, and the resulting
+:class:`FaultInjector` fires PCIe link flaps, host SCIF syscall errors,
+ring corruption, backend worker deaths and card resets at deterministic
+points — while the frontend's retry/timeout machinery and the backend's
+endpoint re-open path recover (or surface typed errors for
+non-idempotent operations).
+"""
+
+from .injector import NO_FAULTS, FaultInjector, Injection
+from .plan import (
+    ENODEV,
+    TRANSIENT_ERRORS,
+    FaultKind,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+    is_transient,
+)
+
+__all__ = [
+    "ENODEV",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSite",
+    "FaultSpec",
+    "Injection",
+    "NO_FAULTS",
+    "TRANSIENT_ERRORS",
+    "is_transient",
+]

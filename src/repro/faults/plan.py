@@ -1,0 +1,192 @@
+"""Deterministic fault plans: *what* to break, *where*, and *when*.
+
+The paper's design implicitly assumes the card, the PCIe link and the
+host SCIF driver never fail mid-operation.  A :class:`FaultPlan` makes
+the opposite assumption testable: it declares a set of
+:class:`FaultSpec`\\ s — each one a fault *kind* plus a deterministic
+*trigger* — and the :class:`~repro.faults.injector.FaultInjector` built
+from it fires those faults at well-defined injection sites threaded
+through the stack (PCIe link, host chardev, vPHI backend, virtio ring).
+
+Triggers compose: an op-name filter, a VM filter, a simulated-time
+window, and a cadence (``every`` Nth matching event, or explicit
+``at`` indexes).  Everything is counter-based off the deterministic
+simulation, so the same plan over the same workload injects the same
+faults at the same simulated instants on every run — which is what lets
+CI gate on recovery behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Type
+
+from ..scif import ScifError
+from ..scif.errors import ECONNRESET, ENXIO, ETIMEDOUT
+from ..sim import SimError
+
+__all__ = [
+    "FaultKind",
+    "FaultSite",
+    "FaultSpec",
+    "FaultPlan",
+    "ENODEV",
+    "TRANSIENT_ERRORS",
+    "is_transient",
+]
+
+
+class ENODEV(ScifError):
+    """The host SCIF driver vanished underneath the caller (driver
+    unload / device death).  Transient from the guest's perspective: the
+    backend re-opens its endpoint and a retried idempotent op succeeds."""
+
+    errno_name = "ENODEV"
+
+
+#: error classes a retry can plausibly cure: connection resets, driver
+#: death (the backend re-opens), card resets (the card comes back) and
+#: frontend-side op timeouts.  Everything else (EINVAL, EADDRINUSE, ...)
+#: reflects caller state and is never retried.
+TRANSIENT_ERRORS: tuple[Type[ScifError], ...] = (ECONNRESET, ENODEV, ENXIO, ETIMEDOUT)
+
+
+def is_transient(err: BaseException) -> bool:
+    """Whether a retry could plausibly cure ``err``."""
+    return isinstance(err, TRANSIENT_ERRORS)
+
+
+class FaultKind:
+    """The failure modes the injector can reproduce."""
+
+    #: PCIe link flap: the link drops and retrains; transfers and
+    #: doorbells stall for ``duration`` simulated seconds.
+    LINK_FLAP = "link_flap"
+    #: host SCIF syscall fails with ``errno`` (default ECONNRESET).
+    SCIF_ERROR = "scif_error"
+    #: a virtio descriptor chain arrives corrupted; the backend detects
+    #: it and completes the request with ECONNRESET.
+    RING_CORRUPT = "ring_corrupt"
+    #: the QEMU worker servicing the request dies; QEMU respawns it
+    #: after ``duration`` and the request completes with ECONNRESET.
+    WORKER_DEATH = "worker_death"
+    #: the card resets mid-RMA; in-flight host calls fail with ENXIO.
+    CARD_RESET = "card_reset"
+
+    ALL = (LINK_FLAP, SCIF_ERROR, RING_CORRUPT, WORKER_DEATH, CARD_RESET)
+
+
+class FaultSite:
+    """Injection sites threaded through the stack (draw points)."""
+
+    #: per-op draw in :meth:`VPhiFrontend.submit` (guest side).
+    FRONTEND_SUBMIT = "vphi.frontend.submit"
+    #: per-request draw in :meth:`VPhiBackend.handle` before dispatch.
+    BACKEND_DISPATCH = "vphi.backend.dispatch"
+    #: per-chain draw when the backend pops the avail ring.
+    RING_POP = "virtio.ring.pop"
+    #: per-ioctl draw in the host chardev (the native, non-vPHI path).
+    HOST_IOCTL = "host.scif.ioctl"
+
+
+#: which site each fault kind fires at.
+SITE_FOR_KIND = {
+    FaultKind.LINK_FLAP: FaultSite.FRONTEND_SUBMIT,
+    FaultKind.SCIF_ERROR: FaultSite.BACKEND_DISPATCH,
+    FaultKind.RING_CORRUPT: FaultSite.RING_POP,
+    FaultKind.WORKER_DEATH: FaultSite.BACKEND_DISPATCH,
+    FaultKind.CARD_RESET: FaultSite.BACKEND_DISPATCH,
+}
+
+#: default outage/respawn duration per kind (simulated seconds).
+DEFAULT_DURATION = {
+    FaultKind.LINK_FLAP: 200e-6,
+    FaultKind.SCIF_ERROR: 0.0,
+    FaultKind.RING_CORRUPT: 0.0,
+    FaultKind.WORKER_DEATH: 500e-6,
+    FaultKind.CARD_RESET: 1e-3,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault kind plus its deterministic trigger.
+
+    A spec *matches* a draw when every filter (``op``, ``vm``, time
+    window, site) agrees; among its matches it *fires* according to the
+    cadence (``every`` / ``at``), capped at ``max_fires``.
+    """
+
+    kind: str
+    #: ScifError subclass injected (SCIF_ERROR kind; others fix their own).
+    errno: Type[ScifError] = ECONNRESET
+    #: only fire for this wire op name (e.g. ``"send"``); None = any.
+    op: Optional[str] = None
+    #: only fire for this VM name; None = any VM (and the native path).
+    vm: Optional[str] = None
+    #: fire on every Nth matching draw (1 = every match).
+    every: Optional[int] = None
+    #: fire on exactly these 0-based matching-draw indexes.
+    at: tuple[int, ...] = ()
+    #: simulated-time window [after, until) the spec is armed in.
+    after: float = 0.0
+    until: float = math.inf
+    #: hard cap on total fires (None = unlimited).
+    max_fires: Optional[int] = None
+    #: outage / respawn / reset duration (None = the kind's default).
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise SimError(f"unknown fault kind {self.kind!r}")
+        if self.every is not None and self.every < 1:
+            raise SimError(f"fault cadence 'every' must be >= 1, got {self.every}")
+        if self.every is None and not self.at:
+            # a spec with no cadence fires on every match inside its
+            # window (and fire cap) — make that explicit rather than
+            # leaving it silently inert.
+            object.__setattr__(self, "every", 1)
+        if not issubclass(self.errno, ScifError):
+            raise SimError("errno must be a ScifError subclass")
+
+    @property
+    def site(self) -> str:
+        return SITE_FOR_KIND[self.kind]
+
+    @property
+    def outage(self) -> float:
+        return DEFAULT_DURATION[self.kind] if self.duration is None else self.duration
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, declarative set of faults to inject into one run."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    name: str = "fault-plan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The empty plan (inject nothing) — the fault-free baseline."""
+        return FaultPlan(specs=(), name="fault-free")
+
+    @staticmethod
+    def of(*specs: FaultSpec, name: str = "fault-plan") -> "FaultPlan":
+        return FaultPlan(specs=tuple(specs), name=name)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def filtered(self, kinds: Sequence[str]) -> "FaultPlan":
+        """A sub-plan containing only the given kinds (ablation helper)."""
+        return FaultPlan(
+            specs=tuple(s for s in self.specs if s.kind in kinds),
+            name=f"{self.name}[{'+'.join(kinds)}]",
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults import NO_FAULTS, FaultInjector, FaultSite
 from ..oscore import OSProcess
 from ..scif import (
     EBADF,
@@ -57,6 +58,14 @@ class ScifFile:
         """Process: dispatch one ioctl command.  Returns the op's result."""
         ep = self._ep()
         cmd = req.cmd
+        # the native (non-virtualized) injection site: a host process
+        # driving /dev/mic/scif directly sees the same syscall errors a
+        # vPHI backend would (fault plans can target either path).
+        inj = self.device.faults.draw(FaultSite.HOST_IOCTL,
+                                      op=cmd.name.lower(),
+                                      vm=self.process.name)
+        if inj is not None:
+            raise inj.make_error()
         if cmd == ScifIoctl.BIND:
             return (yield from self.lib.bind(ep, req.port))
         if cmd == ScifIoctl.LISTEN:
@@ -139,9 +148,13 @@ class ScifCharDevice:
 
     path = "/dev/mic/scif"
 
-    def __init__(self, fabric: ScifFabric, node: ScifNode):
+    def __init__(self, fabric: ScifFabric, node: ScifNode,
+                 faults: Optional[FaultInjector] = None):
         self.fabric = fabric
         self.node = node
+        #: fault source; the Machine rewires this after building its
+        #: injector (default: inject nothing).
+        self.faults = faults or NO_FAULTS
         self.opens = 0
 
     def open(self, process: OSProcess):

@@ -14,8 +14,9 @@ failure mode the paper describes is testable.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..sim import Tracer
 from ..mem import (
     AddressSpace,
     BadAddress,
@@ -50,14 +51,30 @@ class PfnPhiInfo:
 
 
 class KvmMmu:
-    """The host-side second-level fault handler for one VM."""
+    """The host-side second-level fault handler for one VM.
 
-    def __init__(self, vm_name: str, modified: bool = True):
+    Fault counts are kept on the per-VM tracer (``kvm.fault.pfnphi`` /
+    ``kvm.fault.regular``) and each PFNPHI resolution is emitted into the
+    same ``vphi.timeline`` category the SCIF ops use, so EPT faults and
+    the mmap traffic that causes them appear interleaved in one timeline.
+    """
+
+    def __init__(self, vm_name: str, modified: bool = True,
+                 tracer: Optional[Tracer] = None):
         self.vm_name = vm_name
         #: whether the paper's <10-LOC patch is applied.
         self.modified = modified
-        self.pfnphi_faults = 0
-        self.regular_faults = 0
+        self.tracer = tracer or Tracer()
+
+    @property
+    def pfnphi_faults(self) -> int:
+        """EPT faults resolved through the VM_PFNPHI patch."""
+        return self.tracer.counters["kvm.fault.pfnphi"]
+
+    @property
+    def regular_faults(self) -> int:
+        """EPT faults on untagged VMAs (always unresolvable here)."""
+        return self.tracer.counters["kvm.fault.regular"]
 
     def handle_fault(self, space: AddressSpace, vma: VMA, page_vaddr: int):
         """Resolve one guest fault.  Installed as the VMA fault handler for
@@ -75,11 +92,13 @@ class KvmMmu:
             info = vma.private
             if not isinstance(info, PfnPhiInfo):
                 raise PageFault(page_vaddr, "PFNPHI vma without stored frame info")
-            self.pfnphi_faults += 1
+            self.tracer.count("kvm.fault.pfnphi")
             rel = page_align_down(page_vaddr) - vma.start
             mem, paddr = info.locate(rel)
             if paddr % PAGE_SIZE:
                 raise PageFault(page_vaddr, "PFNPHI mapping not page aligned")
+            self.tracer.emit("vphi.timeline", "EPT fault resolved to Phi memory",
+                             vma=vma.name, page=page_align_down(page_vaddr))
             return mem, paddr
-        self.regular_faults += 1
+        self.tracer.count("kvm.fault.regular")
         raise PageFault(page_vaddr, f"kvm[{self.vm_name}]: unhandled EPT fault")

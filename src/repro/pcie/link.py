@@ -71,11 +71,15 @@ class PCIeLink:
         self.config = config or LinkConfig()
         self.name = name
         self._bulk_lock = Mutex(sim, name=f"{name}-bulk")
+        #: the link is down (retraining after a flap) until this time.
+        self._down_until = 0.0
         #: lifetime counters
         self.bytes_transferred = 0
         self.bulk_transfers = 0
         self.messages = 0
+        self.flaps = 0
         self.busy_time = 0.0
+        self.stall_time = 0.0
 
     @property
     def bandwidth(self) -> float:
@@ -84,6 +88,24 @@ class PCIeLink:
     def transfer_time(self, nbytes: int) -> float:
         return nbytes / self.bandwidth
 
+    def flap(self, duration: float) -> None:
+        """Take the link down for ``duration`` (injected fault).
+
+        Traffic already on the wire and new traffic both stall until the
+        link finishes retraining; nothing is lost (PCIe replays TLPs), so
+        a flap shows up purely as added latency on whatever rode the
+        medium during the outage.
+        """
+        self.flaps += 1
+        self._down_until = max(self._down_until, self.sim.now + duration)
+
+    def _await_link(self):
+        """Process: stall until the link is trained (no-op when up)."""
+        while self.sim.now < self._down_until:
+            wait = self._down_until - self.sim.now
+            self.stall_time += wait
+            yield self.sim.timeout(wait)
+
     def occupy(self, nbytes: int):
         """Process: hold the link while ``nbytes`` stream across it.
 
@@ -91,6 +113,7 @@ class PCIeLink:
         """
         yield self._bulk_lock.acquire()
         try:
+            yield from self._await_link()
             t = self.transfer_time(nbytes)
             yield self.sim.timeout(t)
             self.bytes_transferred += nbytes
@@ -105,6 +128,7 @@ class PCIeLink:
         Small messages are posted writes — they do not arbitrate with bulk
         DMA in this model, they just take the wire latency.
         """
+        yield from self._await_link()
         yield self.sim.timeout(self.config.msg_latency)
         self.messages += 1
         return payload

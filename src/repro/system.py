@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from .analysis.calibration import HOST, HostParams
+from .faults import FaultInjector, FaultPlan
 from .host import HostKernel
 from .mem import PhysicalMemory
 from .oscore import OSProcess
@@ -39,6 +40,7 @@ class Machine:
         host_params: HostParams = HOST,
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if cards < 0:
             raise ValueError("cards must be >= 0")
@@ -52,12 +54,19 @@ class Machine:
             XeonPhiDevice(self.sim, card_model, index=i) for i in range(cards)
         ]
         self.fabric = ScifFabric(self.sim, tracer=self.tracer)
+        #: deterministic fault source shared by every injection site on
+        #: this machine (PCIe links, host chardev, per-VM vPHI devices).
+        self.faults = FaultInjector(fault_plan, self.sim, self.tracer)
+        for dev in self.devices:
+            self.faults.attach_link(dev.link)
         self._booted = False
 
     # ------------------------------------------------------------------
     def boot_process(self):
         """Process: boot every card, attach the fabric, publish sysfs."""
         self.kernel.attach_scif(self.fabric)
+        if self.kernel.scif_dev is not None:
+            self.kernel.scif_dev.faults = self.faults
         for dev in self.devices:
             yield from dev.boot()
             self.fabric.attach_device(dev)

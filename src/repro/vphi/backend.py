@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
+from ..faults import ENODEV, NO_FAULTS, FaultInjector, FaultKind, FaultSite, Injection
 from ..scif import Endpoint, NativeScif, Prot, RmaFlag, ScifError
 from ..sim import Tracer
 from ..virtio import VirtioDevice, VirtqueueElement
@@ -48,6 +49,7 @@ class VPhiBackend:
         config: Optional[VPhiConfig] = None,
         costs: VPhiCosts = VPHI_COSTS,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.vm = vm
         self.sim = vm.sim
@@ -61,6 +63,8 @@ class VPhiBackend:
         self.tracer = tracer or getattr(vm, "tracer", None) or Tracer()
         self.endpoints: dict[int, Endpoint] = {}
         self._handles = itertools.count(1)
+        #: fault source (default: inject nothing).
+        self.faults = faults or NO_FAULTS
         virtio.bind_backend(self.on_kick)
         #: requests currently being handled (drives the busy flag that
         #: notification suppression keys off).
@@ -68,6 +72,7 @@ class VPhiBackend:
         #: metrics
         self.requests_served = 0
         self.errors_returned = 0
+        self.endpoint_reopens = 0
 
     # ------------------------------------------------------------------
     # endpoint handle table (used by the registered op handlers)
@@ -129,6 +134,17 @@ class VPhiBackend:
                          vm=self.vm.name)
         resp = VPhiResponse(tag=req.tag)
         try:
+            # ring corruption is discovered while walking the popped
+            # descriptor chain, before any host syscall is issued.
+            inj = self.faults.draw(FaultSite.RING_POP,
+                                   op=spec.op_name, vm=self.vm.name)
+            if inj is not None:
+                self._record_injection(spec, inj)
+                raise inj.make_error()
+            inj = self.faults.draw(FaultSite.BACKEND_DISPATCH,
+                                   op=spec.op_name, vm=self.vm.name)
+            if inj is not None:
+                yield from self._apply_dispatch_fault(spec, req, inj)
             result, written = yield from self._dispatch(spec, req, elem)
             resp.result = result
             resp.written = written
@@ -159,6 +175,67 @@ class VPhiBackend:
         if spec.post_cost is not None:
             yield self.sim.timeout(spec.post_cost(self, req))
         return result, written
+
+    # ------------------------------------------------------------------
+    # fault injection & recovery (backend side)
+    # ------------------------------------------------------------------
+    def _record_injection(self, spec: OpSpec, inj: Injection) -> None:
+        """Book one fired injection against this VM's timeline."""
+        self.tracer.count("vphi.fault.injected")
+        self.tracer.count(spec.injected_key)
+        self.tracer.emit("vphi.faults", "backend fault injected",
+                         kind=inj.kind, op=spec.op_name, vm=self.vm.name)
+
+    def _apply_dispatch_fault(self, spec: OpSpec, req: VPhiRequest,
+                              inj: Injection):
+        """Process: play out one injected dispatch-site fault.
+
+        Always ends by raising the injection's typed :class:`ScifError`
+        (the request is completed on the ring with that error, so its
+        descriptors are freed and the frontend's recovery logic decides
+        between retry and fail-fast).
+        """
+        self._record_injection(spec, inj)
+        if inj.kind == FaultKind.WORKER_DEATH:
+            # the worker servicing this request dies; QEMU notices after
+            # the respawn delay and completes the orphan with ECONNRESET
+            # so the ring descriptors are never leaked.
+            yield self.sim.timeout(inj.spec.outage)
+            self.tracer.emit("vphi.timeline",
+                             "worker respawned, orphan request aborted",
+                             tag=req.tag, op=spec.op_name, vm=self.vm.name)
+        elif inj.kind == FaultKind.CARD_RESET:
+            # mid-RMA card reset: the card is unreachable for the reset
+            # window, then every in-flight transfer aborts with ENXIO.
+            yield self.sim.timeout(inj.spec.outage)
+            self.tracer.emit("vphi.timeline",
+                             "card reset completed, in-flight RMA aborted",
+                             tag=req.tag, op=spec.op_name, vm=self.vm.name)
+        err = inj.make_error()
+        if isinstance(err, ENODEV):
+            # the host driver dropped our descriptor: re-open it so the
+            # guest-visible handle works again when the frontend retries.
+            yield from self.reopen_endpoint(req.handle)
+        raise err
+
+    def reopen_endpoint(self, handle: int):
+        """Process: restore the backend's descriptor after driver death.
+
+        An injected ENODEV means the host SCIF driver revoked the
+        backend's open descriptor; QEMU re-opens the device node and
+        reattaches it to the surviving kernel endpoint (the simulation
+        keeps one :class:`Endpoint` object for both), so the
+        guest-visible handle stays valid and the frontend's retry of an
+        idempotent op can succeed.
+        """
+        if handle not in self.endpoints:
+            return
+        yield self.sim.timeout(self.lib.costs.syscall)
+        self.endpoint_reopens += 1
+        self.tracer.count("vphi.backend.endpoint_reopens")
+        self.tracer.emit("vphi.timeline",
+                         "host endpoint re-opened after driver death",
+                         handle=handle, vm=self.vm.name)
 
     # ------------------------------------------------------------------
     # guest buffer access (zero copy: descriptors are guest-physical)

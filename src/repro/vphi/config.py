@@ -11,6 +11,7 @@ and selectable for the ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..mem import KMALLOC_MAX_SIZE
 from .ops import default_nonblocking_ops
@@ -49,6 +50,21 @@ class VPhiConfig:
     #: default (the paper's prototype predates it); ablation A7 measures
     #: what it saves.
     suppress_notifications: bool = False
+    #: per-request completion timeout for *blocking-class* ops (their
+    #: completion time is bounded, so a stall means something died).
+    #: ``None`` disables the watchdog — the default, because the paper's
+    #: prototype has none and the Fig 4/5 baselines must stay
+    #: byte-identical.  Non-blocking ops (accept/poll/fences) have
+    #: unbounded completion time and never get a timeout.
+    op_timeout: Optional[float] = None
+    #: bounded-retry policy for transient faults on *idempotent* ops
+    #: (the op registry declares idempotency; non-idempotent ops always
+    #: fail fast with the typed ScifError).
+    max_retries: int = 4
+    #: exponential backoff: first retry waits ``retry_backoff``, each
+    #: further retry doubles it, capped at ``retry_backoff_max``.
+    retry_backoff: float = 100e-6
+    retry_backoff_max: float = 5e-3
 
     def __post_init__(self) -> None:
         if self.wait_mode not in WaitMode.ALL:
@@ -59,6 +75,23 @@ class VPhiConfig:
             )
         if self.hybrid_threshold < 0:
             raise ValueError("hybrid_threshold must be >= 0")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ValueError("op_timeout must be positive (or None to disable)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0 or self.retry_backoff_max < self.retry_backoff:
+            raise ValueError("need 0 <= retry_backoff <= retry_backoff_max")
 
     def is_blocking(self, op) -> bool:
         return op not in self.nonblocking_ops
+
+    def timeout_for(self, spec) -> Optional[float]:
+        """The completion watchdog for one op, from its blocking class:
+        blocking ops get ``op_timeout``; non-blocking (unbounded) ops
+        never time out."""
+        return self.op_timeout if spec.blocking else None
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), exponentially
+        doubled and bounded."""
+        return min(self.retry_backoff * (2 ** (attempt - 1)), self.retry_backoff_max)

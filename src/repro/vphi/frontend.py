@@ -17,6 +17,16 @@ rules, trace keys); :meth:`VPhiFrontend.submit_batch` posts several
 registry-described requests back-to-back with a single kick, which the
 segmented-transfer loop in :meth:`VPhiFrontend.submit` uses to avoid one
 vmexit per segment (ablation A8 quantifies the saving).
+
+Fault recovery: every completion goes through :meth:`_complete`, which
+arms a per-op watchdog (from the op's blocking class — blocking ops have
+bounded completion time, so a stall means the backend worker died) and,
+on a transient fault (injected link flap, host ECONNRESET/ENODEV, ring
+corruption, card reset, or the watchdog itself), retries *idempotent*
+ops with bounded exponential backoff while non-idempotent ops fail fast
+with the typed :class:`~repro.scif.ScifError`.  Retries re-post the same
+bounce chunks under a fresh tag; abandoned (timed-out) tags are dropped
+when their late response eventually drains.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..analysis.calibration import HOST, VPHI_COSTS, HostParams, VPhiCosts
+from ..faults import NO_FAULTS, FaultInjector, FaultSite, is_transient
+from ..scif.errors import ETIMEDOUT, ScifError
 from ..sim import SimError, Simulator, Tracer, WaitQueue
 from ..virtio import VirtioDevice
 from .chunking import BounceBuffers
@@ -69,6 +81,11 @@ class _Prepared:
     def needed_descriptors(self) -> int:
         return len(self.out_descs) + len(self.in_descs)
 
+    def renew_tag(self, tag: int) -> None:
+        """Give the request a fresh correlation id for a retry posting
+        (the old tag may still complete late and must not alias)."""
+        self.req.tag = tag
+
     def release(self, kmalloc) -> None:
         if self.hdr_ext is not None and not self.hdr_ext.freed:
             kmalloc.kfree(self.hdr_ext)
@@ -89,6 +106,7 @@ class VPhiFrontend:
         costs: VPhiCosts = VPHI_COSTS,
         host_params: HostParams = HOST,
         tracer: Optional[Tracer] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.vm = vm
         self.sim: Simulator = vm.sim
@@ -111,11 +129,18 @@ class VPhiFrontend:
         self._tags = itertools.count(1)
         #: completed responses awaiting their caller, by tag.
         self.responses: dict[int, VPhiResponse] = {}
+        #: fault source (default: inject nothing).
+        self.faults = faults or NO_FAULTS
+        #: tags whose caller gave up (watchdog expiry): their late
+        #: responses are dropped at drain time instead of parking forever.
+        self._abandoned: set[int] = set()
         virtio.bind_guest_isr(self.irq_handler)
         vm.guest_kernel.vphi_frontend = self
         #: metrics
         self.requests = 0
         self.irqs = 0
+        self.retries = 0
+        self.timeouts = 0
 
     # ------------------------------------------------------------------
     # interrupt path
@@ -141,6 +166,12 @@ class VPhiFrontend:
             reaped = True
             _head, written, header = got
             resp: VPhiResponse = header
+            if resp.tag in self._abandoned:
+                # late completion of a timed-out request: reaping it has
+                # already released its ring descriptors; drop the record.
+                self._abandoned.discard(resp.tag)
+                self.tracer.count("vphi.fault.late_responses")
+                continue
             self.responses[resp.tag] = resp
         if reaped:
             # reaping released descriptors: unblock parked submitters
@@ -238,10 +269,11 @@ class VPhiFrontend:
             out: list[tuple] = []
             first_error: Optional[Exception] = None
             for p in prepared:
-                resp = yield from self._reap(p)
-                if resp.error is not None:
+                try:
+                    resp = yield from self._complete(p)
+                except ScifError as err:
                     if first_error is None:
-                        first_error = resp.error
+                        first_error = err
                     out.append((None, None))
                     continue
                 result, in_data = yield from self._finish(p, resp)
@@ -272,9 +304,7 @@ class VPhiFrontend:
         try:
             yield from self._post_chain(p)
             yield from self._kick([p])
-            resp = yield from self._reap(p)
-            if resp.error is not None:
-                raise resp.error
+            resp = yield from self._complete(p)
             result, in_data = yield from self._finish(p, resp)
             # response demux + syscall return to user space
             yield self.sim.timeout(self.costs.guest_return)
@@ -299,6 +329,16 @@ class VPhiFrontend:
         spec = spec_for(op)
         self.requests += 1
         acc = self.tracer.accumulate
+        # frontend-side fault draw: link flaps trigger by op index / name /
+        # VM / time window and stall the shared PCIe medium while it
+        # retrains (the request itself proceeds and rides out the stall).
+        inj = self.faults.draw(FaultSite.FRONTEND_SUBMIT,
+                               op=spec.op_name, vm=self.vm.name)
+        if inj is not None:
+            self.tracer.count("vphi.fault.injected")
+            self.tracer.count(spec.injected_key)
+            self.tracer.emit("vphi.faults", "link flap injected",
+                             kind=inj.kind, op=spec.op_name, vm=self.vm.name)
         # 3b/3c: request marshalling in the guest kernel
         yield self.sim.timeout(self.costs.frontend)
         acc("vphi.phase.frontend", self.costs.frontend)
@@ -366,19 +406,79 @@ class VPhiFrontend:
             self.tracer.emit("vphi.timeline", "backend kicked (vmexit)",
                              tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
 
-    def _reap(self, p: _Prepared):
-        """Park on the configured wait scheme until p's response lands."""
+    def _reap(self, p: _Prepared, deadline: Optional[float] = None):
+        """Park on the configured wait scheme until p's response lands.
+
+        Returns ``None`` if ``deadline`` (absolute simulated time) passes
+        first — the caller's recovery watchdog.
+        """
         data_bytes = max(p.req.out_nbytes, p.req.in_nbytes)
         t0 = self.sim.now
-        resp: VPhiResponse = yield from self.wait_scheme.wait_for(
-            self, p.req.tag, data_bytes
+        resp: Optional[VPhiResponse] = yield from self.wait_scheme.wait_for(
+            self, p.req.tag, data_bytes, deadline
         )
         # time parked waiting = backend + host op + irq + wakeup; the
         # wakeup share is accumulated separately by the wait scheme.
         self.tracer.accumulate("vphi.phase.wait", self.sim.now - t0)
-        self.tracer.emit("vphi.timeline", "response reaped after wakeup",
-                         tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
+        if resp is not None:
+            self.tracer.emit("vphi.timeline", "response reaped after wakeup",
+                             tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
         return resp
+
+    def _complete(self, p: _Prepared):
+        """Reap ``p``'s response, recovering from transient faults.
+
+        The watchdog deadline comes from the op's blocking class via
+        :meth:`VPhiConfig.timeout_for` (blocking ops have bounded
+        completion time; a stall means the backend worker died).  On a
+        transient fault — injected ECONNRESET/ENODEV, ring corruption,
+        card reset, or watchdog expiry — *idempotent* ops re-post the
+        same bounce chunks under a fresh tag after bounded exponential
+        backoff; non-idempotent ops fail fast with the typed error.
+        """
+        spec, cfg = p.spec, self.config
+        attempt = 0
+        while True:
+            timeout = cfg.timeout_for(spec)
+            deadline = None if timeout is None else self.sim.now + timeout
+            resp = yield from self._reap(p, deadline)
+            if resp is None:
+                # watchdog expiry: abandon the tag so the late response
+                # (if the backend ever completes it) is dropped on drain.
+                self.timeouts += 1
+                self._abandoned.add(p.req.tag)
+                self.tracer.count("vphi.fault.timeouts")
+                err: Exception = ETIMEDOUT(
+                    f"{self.vm.name}: {spec.op_name} gave no completion "
+                    f"within {timeout:g}s (tag {p.req.tag})"
+                )
+            elif resp.error is not None:
+                err = resp.error
+            else:
+                if attempt:
+                    self.tracer.count(spec.recovered_key)
+                    self.tracer.count("vphi.fault.recovered")
+                    self.tracer.emit("vphi.timeline", "request recovered after retry",
+                                     tag=p.req.tag, op=spec.op_name, attempts=attempt)
+                return resp
+            if not (spec.idempotent and is_transient(err)
+                    and attempt < cfg.max_retries):
+                if is_transient(err):
+                    self.tracer.count(spec.failed_key)
+                    self.tracer.count("vphi.fault.failed")
+                raise err
+            # bounded exponential backoff, then re-post under a fresh tag
+            attempt += 1
+            self.retries += 1
+            self.tracer.count(spec.retried_key)
+            self.tracer.count("vphi.fault.retried")
+            self.tracer.emit("vphi.timeline", "transient fault, retrying",
+                             tag=p.req.tag, op=spec.op_name, attempt=attempt,
+                             error=type(err).__name__)
+            yield self.sim.timeout(cfg.backoff_for(attempt))
+            p.renew_tag(next(self._tags))
+            yield from self._post_chain(p)
+            yield from self._kick([p])
 
     def _finish(self, p: _Prepared, resp: VPhiResponse):
         """Gather the device->guest payload (3ii: the kernel->user copy)."""

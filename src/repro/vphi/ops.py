@@ -14,6 +14,10 @@ needs to know about one operation is declared *here*, exactly once, as an
 * the **blocking class** — whether QEMU services the request inline
   (freezing the VM) or on a worker thread (ops with unbounded completion
   time: accept/poll/fences);
+* the **idempotency class** — whether replaying the op after a transient
+  fault is observably identical to running it once.  The frontend's
+  recovery machinery retries idempotent ops (bounded exponential
+  backoff) and fails non-idempotent ones fast with the typed ScifError;
 * the **trace phase label** and the derived per-op counter/latency keys
   the frontend, backend and :mod:`repro.analysis.breakdown` share;
 * optional **cost hooks** — fixed simulated time charged host-side before
@@ -83,6 +87,10 @@ class OpSpec:
     handler: Callable  # generator: (backend, req, elem, args) -> (result, written)
     args: tuple[ArgSpec, ...] = ()
     blocking_class: str = BLOCKING
+    #: replaying the op after a transient fault is indistinguishable from
+    #: running it once (reads, window RMA to explicit offsets, pure
+    #: queries).  Drives the frontend's retry-vs-fail-fast decision.
+    idempotent: bool = False
     #: trace phase label (timeline annotations; defaults to the wire name).
     phase: str = ""
     #: the op references an existing backend endpoint via ``req.handle``.
@@ -123,6 +131,27 @@ class OpSpec:
     def latency_key(self) -> str:
         """Frontend: per-request ring round-trip latency stat."""
         return f"vphi.op.{self.op_name}.latency"
+
+    @property
+    def injected_key(self) -> str:
+        """Faults injected while this op was in flight."""
+        return f"vphi.op.{self.op_name}.injected"
+
+    @property
+    def retried_key(self) -> str:
+        """Frontend: retry attempts after a transient fault."""
+        return f"vphi.op.{self.op_name}.retried"
+
+    @property
+    def recovered_key(self) -> str:
+        """Frontend: requests that ultimately succeeded after >=1 retry."""
+        return f"vphi.op.{self.op_name}.recovered"
+
+    @property
+    def failed_key(self) -> str:
+        """Frontend: transient faults surfaced to the caller (fail-fast
+        non-idempotent ops, or retries exhausted)."""
+        return f"vphi.op.{self.op_name}.failed"
 
     @property
     def blocking(self) -> bool:
@@ -168,6 +197,7 @@ def register(
     *,
     args: tuple[ArgSpec, ...] = (),
     blocking_class: str = BLOCKING,
+    idempotent: bool = False,
     phase: str = "",
     wants_endpoint: bool = True,
     carries_out: bool = False,
@@ -192,6 +222,7 @@ def register(
             handler=handler,
             args=tuple(args),
             blocking_class=blocking_class,
+            idempotent=idempotent,
             phase=phase or op.value,
             wants_endpoint=wants_endpoint,
             carries_out=carries_out,
@@ -250,7 +281,7 @@ def _rma_post_cost(backend, req) -> float:
 # ======================================================================
 # the built-in SCIF operation set (§III, Fig 3): every op exactly once.
 # ======================================================================
-@register(VPhiOp.OPEN, wants_endpoint=False)
+@register(VPhiOp.OPEN, wants_endpoint=False, idempotent=True)
 def _open(backend, req, elem, a):
     ep = yield from backend.lib.open()
     return backend.new_handle(ep), 0
@@ -270,7 +301,8 @@ def _bind(backend, req, elem, a):
     return port, 0
 
 
-@register(VPhiOp.LISTEN, args=(ArgSpec("backlog", default=16, convert=int),))
+@register(VPhiOp.LISTEN, args=(ArgSpec("backlog", default=16, convert=int),),
+          idempotent=True)
 def _listen(backend, req, elem, a):
     yield from backend.lib.listen(backend.endpoint(req.handle), a["backlog"])
     return 0, 0
@@ -367,7 +399,7 @@ _RMA_ARGS = (
 )
 
 
-@register(VPhiOp.READFROM, args=_RMA_ARGS,
+@register(VPhiOp.READFROM, args=_RMA_ARGS, idempotent=True,
           pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
 def _readfrom(backend, req, elem, a):
     # window-to-window: both sides pinned, DMA direct (no bounce)
@@ -375,7 +407,7 @@ def _readfrom(backend, req, elem, a):
     return n, 0
 
 
-@register(VPhiOp.WRITETO, args=_RMA_ARGS,
+@register(VPhiOp.WRITETO, args=_RMA_ARGS, idempotent=True,
           pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
 def _writeto(backend, req, elem, a):
     n = yield from backend.window_rma(req, "write")
@@ -388,14 +420,14 @@ _VRMA_ARGS = (
 )
 
 
-@register(VPhiOp.VREADFROM, args=_VRMA_ARGS, carries_in=True,
+@register(VPhiOp.VREADFROM, args=_VRMA_ARGS, carries_in=True, idempotent=True,
           pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
 def _vreadfrom(backend, req, elem, a):
     n = yield from backend.chunked_rma(req, elem, "read")
     return n, n
 
 
-@register(VPhiOp.VWRITETO, args=_VRMA_ARGS, carries_out=True,
+@register(VPhiOp.VWRITETO, args=_VRMA_ARGS, carries_out=True, idempotent=True,
           pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
 def _vwriteto(backend, req, elem, a):
     n = yield from backend.chunked_rma(req, elem, "write")
@@ -409,6 +441,7 @@ def _vwriteto(backend, req, elem, a):
         ArgSpec("nbytes", convert=int),
         ArgSpec("prot", default=3, convert=int),
     ),
+    idempotent=True,
 )
 def _mmap(backend, req, elem, a):
     from ..kvm.fault import PfnPhiInfo
@@ -434,6 +467,7 @@ def _fence_mark(backend, req, elem, a):
     VPhiOp.FENCE_WAIT,
     args=(ArgSpec("mark", convert=int),),
     blocking_class=NONBLOCKING,  # waits for DMA completion: unbounded
+    idempotent=True,
 )
 def _fence_wait(backend, req, elem, a):
     yield from backend.lib.fence_wait(backend.endpoint(req.handle), a["mark"])
@@ -458,7 +492,7 @@ def _fence_signal(backend, req, elem, a):
     return 0, 0
 
 
-@register(VPhiOp.GET_NODE_IDS, wants_endpoint=False)
+@register(VPhiOp.GET_NODE_IDS, wants_endpoint=False, idempotent=True)
 def _get_node_ids(backend, req, elem, a):
     ids = yield from backend.lib.get_node_ids()
     return ids, 0
@@ -471,6 +505,7 @@ def _get_node_ids(backend, req, elem, a):
         ArgSpec("timeout", default=None),
     ),
     blocking_class=NONBLOCKING,  # completion time unbounded (§III)
+    idempotent=True,
 )
 def _poll(backend, req, elem, a):
     from ..scif import PollEvent
@@ -483,7 +518,7 @@ def _poll(backend, req, elem, a):
 
 
 @register(VPhiOp.SYSFS_READ, args=(ArgSpec("path", convert=str),),
-          wants_endpoint=False)
+          wants_endpoint=False, idempotent=True)
 def _sysfs_read(backend, req, elem, a):
     yield backend.sim.timeout(0)
     return backend.host_kernel.sysfs.read(a["path"]), 0

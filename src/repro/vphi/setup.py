@@ -67,12 +67,16 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstan
     )
     # frontend and backend share the VM's tracer: one timeline per VM, so
     # per-VM breakdowns don't mix and no half of the path goes unrecorded
+    # both halves draw from the machine's one injector, so a plan's
+    # cadence counters span the whole datapath deterministically
+    faults = getattr(machine, "faults", None)
     frontend = VPhiFrontend(
         vm, virtio, config=config, host_params=machine.host_params,
-        tracer=vm.tracer,
+        tracer=vm.tracer, faults=faults,
     )
     backend = VPhiBackend(
-        vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer
+        vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer,
+        faults=faults,
     )
     # replicate the host's mic sysfs inside the guest (live passthrough)
     for path, _ in machine.kernel.sysfs.walk():

@@ -23,17 +23,38 @@ __all__ = ["InterruptWait", "PollingWait", "HybridWait", "make_wait_scheme"]
 
 class InterruptWait:
     """Sleep on the driver wait queue; the virtual-interrupt ISR wakes all
-    sleepers, each of which pays the reschedule + ring-scan cost."""
+    sleepers, each of which pays the reschedule + ring-scan cost.
+
+    With a ``deadline`` (the fault-recovery watchdog), the sleep races a
+    timer; expiry returns ``None`` instead of a response and the waiter
+    is withdrawn from the queue.
+    """
 
     name = "interrupt"
 
     def __init__(self, costs: VPhiCosts = VPHI_COSTS):
         self.costs = costs
 
-    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int):
+    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int,
+                 deadline: float | None = None):
         sim = frontend.sim
         while tag not in frontend.responses:
-            yield frontend.waitq.wait()
+            if deadline is None:
+                yield frontend.waitq.wait()
+            else:
+                if sim.now >= deadline:
+                    return None
+                ev = frontend.waitq.wait()
+                which, _ = yield sim.any_of([ev, sim.timeout(deadline - sim.now)])
+                if which == 1:
+                    frontend.waitq.cancel(ev)
+                    # the VM may have been frozen past the deadline while
+                    # the response landed (blocking-mode handling defers
+                    # our timer): deliver it rather than spuriously
+                    # timing out.
+                    if tag in frontend.responses:
+                        continue
+                    return None
             # woken by the ISR: being rescheduled and scanning the shared
             # ring is the dominant cost of the whole vPHI path (§IV-B).
             yield sim.timeout(self.costs.wakeup_scheme)
@@ -49,9 +70,12 @@ class PollingWait:
     def __init__(self, costs: VPhiCosts = VPHI_COSTS):
         self.costs = costs
 
-    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int):
+    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int,
+                 deadline: float | None = None):
         sim = frontend.sim
         while tag not in frontend.responses:
+            if deadline is not None and sim.now >= deadline:
+                return None
             yield sim.timeout(self.costs.poll_interval)
             frontend.tracer.accumulate("vphi.poll_cpu_time", self.costs.poll_interval)
             frontend.drain_used()
@@ -68,9 +92,10 @@ class HybridWait:
         self._poll = PollingWait(costs)
         self._intr = InterruptWait(costs)
 
-    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int):
+    def wait_for(self, frontend: "VPhiFrontend", tag: int, data_bytes: int,
+                 deadline: float | None = None):
         scheme = self._poll if data_bytes < self.threshold else self._intr
-        result = yield from scheme.wait_for(frontend, tag, data_bytes)
+        result = yield from scheme.wait_for(frontend, tag, data_bytes, deadline)
         return result
 
 

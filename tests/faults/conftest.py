@@ -1,0 +1,10 @@
+"""Fault-injection test fixtures."""
+
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(cards=1).boot()

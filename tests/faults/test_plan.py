@@ -1,0 +1,210 @@
+"""FaultPlan / FaultInjector unit tests: triggers, cadence, determinism."""
+
+import pytest
+
+from repro.faults import (
+    ENODEV,
+    NO_FAULTS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+    is_transient,
+)
+from repro.scif.errors import ECONNRESET, EINVAL, ENXIO, ETIMEDOUT
+from repro.sim import SimError, Simulator
+
+
+def draw_n(injector, n, site=FaultSite.BACKEND_DISPATCH, **kw):
+    """n draws at one site; returns the 0-based indexes that fired."""
+    fired = []
+    for i in range(n):
+        if injector.draw(site, **kw) is not None:
+            fired.append(i)
+    return fired
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimError):
+            FaultSpec(kind="meteor_strike")
+
+    def test_zero_cadence_rejected(self):
+        with pytest.raises(SimError):
+            FaultSpec(kind=FaultKind.SCIF_ERROR, every=0)
+
+    def test_errno_must_be_scif_error(self):
+        with pytest.raises(SimError):
+            FaultSpec(kind=FaultKind.SCIF_ERROR, errno=ValueError)
+
+    def test_no_cadence_defaults_to_every_match(self):
+        assert FaultSpec(kind=FaultKind.SCIF_ERROR).every == 1
+        # a cap alone must not leave the spec inert
+        assert FaultSpec(kind=FaultKind.SCIF_ERROR, max_fires=2).every == 1
+        # explicit `at` indexes suppress the default
+        assert FaultSpec(kind=FaultKind.SCIF_ERROR, at=(3,)).every is None
+
+    def test_site_derived_from_kind(self):
+        assert FaultSpec(kind=FaultKind.LINK_FLAP).site == FaultSite.FRONTEND_SUBMIT
+        assert FaultSpec(kind=FaultKind.RING_CORRUPT).site == FaultSite.RING_POP
+        assert (FaultSpec(kind=FaultKind.WORKER_DEATH).site
+                == FaultSite.BACKEND_DISPATCH)
+
+    def test_outage_default_and_override(self):
+        assert FaultSpec(kind=FaultKind.LINK_FLAP).outage == pytest.approx(200e-6)
+        assert FaultSpec(kind=FaultKind.LINK_FLAP, duration=1e-3).outage == 1e-3
+
+
+class TestTransience:
+    def test_transient_classes(self):
+        for err in (ECONNRESET("x"), ENODEV("x"), ENXIO("x"), ETIMEDOUT("x")):
+            assert is_transient(err)
+
+    def test_caller_errors_are_not_transient(self):
+        assert not is_transient(EINVAL("bad argument"))
+        assert not is_transient(ValueError("not even scif"))
+
+
+class TestCadence:
+    def test_every_nth_match(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, every=3)),
+            Simulator(),
+        )
+        assert draw_n(inj, 9) == [2, 5, 8]
+
+    def test_at_indexes(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, at=(0, 4))),
+            Simulator(),
+        )
+        assert draw_n(inj, 6) == [0, 4]
+
+    def test_max_fires_caps(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, every=2, max_fires=2)),
+            Simulator(),
+        )
+        assert draw_n(inj, 10) == [1, 3]
+
+    def test_op_filter_only_counts_matching_draws(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, op="send", every=2)),
+            Simulator(),
+        )
+        fired = []
+        for i, op in enumerate(["send", "recv", "send", "send", "recv"]):
+            if inj.draw(FaultSite.BACKEND_DISPATCH, op=op) is not None:
+                fired.append(i)
+        # 2nd *matching* draw is the 3rd overall
+        assert fired == [2]
+
+    def test_vm_filter(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, vm="vm1", every=1)),
+            Simulator(),
+        )
+        assert inj.draw(FaultSite.BACKEND_DISPATCH, vm="vm2") is None
+        assert inj.draw(FaultSite.BACKEND_DISPATCH, vm="vm1") is not None
+
+    def test_time_window(self):
+        sim = Simulator()
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, after=1.0, until=2.0)),
+            sim,
+        )
+        assert inj.draw(FaultSite.BACKEND_DISPATCH) is None  # t=0: disarmed
+
+        def advance(to):
+            yield sim.timeout(to - sim.now)
+
+        sim.spawn(advance(1.5))
+        sim.run()
+        assert inj.draw(FaultSite.BACKEND_DISPATCH) is not None
+        sim.spawn(advance(2.5))
+        sim.run()
+        assert inj.draw(FaultSite.BACKEND_DISPATCH) is None  # window closed
+
+    def test_wrong_site_never_matches(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, every=1)),
+            Simulator(),
+        )
+        assert draw_n(inj, 3, site=FaultSite.RING_POP) == []
+
+    def test_determinism_same_plan_same_fires(self):
+        plan = FaultPlan.of(
+            FaultSpec(kind=FaultKind.SCIF_ERROR, every=3),
+            FaultSpec(kind=FaultKind.RING_CORRUPT, at=(1,)),
+        )
+        runs = []
+        for _ in range(2):
+            inj = FaultInjector(plan, Simulator())
+            fires = []
+            for i in range(8):
+                for site in (FaultSite.BACKEND_DISPATCH, FaultSite.RING_POP):
+                    got = inj.draw(site, op="send", vm="vm0")
+                    if got is not None:
+                        fires.append((i, site, got.kind))
+            runs.append(fires)
+        assert runs[0] == runs[1] and runs[0]
+
+
+class TestInjection:
+    def test_make_error_types(self):
+        sim = Simulator()
+        plan = FaultPlan.of(
+            FaultSpec(kind=FaultKind.SCIF_ERROR, errno=ENODEV, max_fires=1),
+            FaultSpec(kind=FaultKind.RING_CORRUPT, every=1),
+            FaultSpec(kind=FaultKind.WORKER_DEATH, max_fires=1),
+            FaultSpec(kind=FaultKind.CARD_RESET, every=1),
+        )
+        inj = FaultInjector(plan, sim)
+        assert isinstance(
+            inj.draw(FaultSite.BACKEND_DISPATCH).make_error(), ENODEV
+        )
+        assert isinstance(inj.draw(FaultSite.RING_POP).make_error(), ECONNRESET)
+        # earlier armed specs win; once spent, later ones get their turn
+        assert isinstance(
+            inj.draw(FaultSite.BACKEND_DISPATCH).make_error(), ECONNRESET
+        )
+        assert isinstance(
+            inj.draw(FaultSite.BACKEND_DISPATCH).make_error(), ENXIO
+        )
+
+    def test_link_flap_delivered_to_attached_links(self, machine):
+        link = machine.devices[0].link
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.LINK_FLAP, every=1)),
+            machine.sim,
+        )
+        inj.attach_link(link)
+        assert link.flaps == 0
+        got = inj.draw(FaultSite.FRONTEND_SUBMIT, op="send", vm="vm0")
+        assert got is not None and got.kind == FaultKind.LINK_FLAP
+        assert link.flaps == 1
+
+    def test_log_and_fires_of(self):
+        inj = FaultInjector(
+            FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR, every=2)),
+            Simulator(),
+        )
+        draw_n(inj, 6)
+        assert inj.injected == 3
+        assert inj.fires_of(FaultKind.SCIF_ERROR) == 3
+        assert inj.fires_of(FaultKind.CARD_RESET) == 0
+        assert [i.seq for i in inj.log] == [0, 1, 2]
+
+    def test_empty_plan_is_inert(self):
+        assert not NO_FAULTS.active
+        assert NO_FAULTS.draw(FaultSite.BACKEND_DISPATCH, op="send") is None
+
+    def test_plan_filtered(self):
+        plan = FaultPlan.of(
+            FaultSpec(kind=FaultKind.LINK_FLAP),
+            FaultSpec(kind=FaultKind.SCIF_ERROR),
+        )
+        sub = plan.filtered([FaultKind.LINK_FLAP])
+        assert [s.kind for s in sub] == [FaultKind.LINK_FLAP]
+        assert bool(FaultPlan.none()) is False and bool(plan) is True
