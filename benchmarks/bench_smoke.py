@@ -25,6 +25,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 if str(REPO / "src") not in sys.path:
     sys.path.insert(0, str(REPO / "src"))
+if str(REPO / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO / "benchmarks"))
 
 from repro import Machine  # noqa: E402
 from repro.workloads import (  # noqa: E402
@@ -69,7 +71,26 @@ def _run_fig5() -> dict:
     }
 
 
-FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5}
+def _run_a10() -> dict:
+    """A10: aggregate multi-VM RMA throughput (B/s) vs backend pool size.
+
+    Pool size 0 is the paper's blocking dispatch; the series pins down
+    both the blocking baseline and the pooled improvement curve.
+    """
+    from test_ablation_backend_pool import run_scenario
+
+    series = []
+    for workers in (0, 1, 2, 4, 8):
+        _, _, tput, _, _ = run_scenario(workers)
+        series.append([workers, tput])
+    return {
+        "figure": "a10",
+        "unit": "bytes_per_second",
+        "throughput_by_workers": series,
+    }
+
+
+FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10}
 
 
 def canonical(series: dict) -> str:
@@ -93,7 +114,8 @@ def bless(name: str, series: dict) -> None:
 
 def diff_series(name: str, golden: dict, got: dict) -> list[str]:
     lines = []
-    for side in ("native", "vphi"):
+    sides = [k for k, v in golden.items() if isinstance(v, list)]
+    for side in sides:
         for (gsize, gval), (size, val) in zip(golden[side], got[side]):
             if gsize != size or gval != val:
                 lines.append(

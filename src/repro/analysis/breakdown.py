@@ -18,11 +18,14 @@ from dataclasses import dataclass
 from .calibration import SCIF_COSTS
 
 __all__ = [
+    "ConcurrencyStats",
     "OpStats",
     "PhaseShare",
+    "concurrency_stats",
     "overhead_breakdown",
     "per_op_stats",
     "render_breakdown",
+    "render_concurrency",
     "render_per_op",
 ]
 
@@ -82,6 +85,9 @@ class OpStats:
     retried: int = 0
     recovered: int = 0
     failed: int = 0
+    #: requests serviced by a pool member instead of a blocking worker
+    #: (zero under the default blocking dispatch)
+    pooled: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -114,6 +120,7 @@ def per_op_stats(frontend) -> list[OpStats]:
             retried=tracer.counters.get(spec.retried_key, 0),
             recovered=tracer.counters.get(spec.recovered_key, 0),
             failed=tracer.counters.get(spec.failed_key, 0),
+            pooled=tracer.counters.get(spec.pooled_key, 0),
         ))
     out.sort(key=lambda s: s.submitted, reverse=True)
     return out
@@ -128,8 +135,11 @@ def render_per_op(frontend) -> str:
         return "\n".join(lines)
     faulty = any(s.injected or s.retried or s.recovered or s.failed
                  for s in rows)
+    pooled = any(s.pooled for s in rows)
     header = (f"  {'op':<14} {'submitted':>9} {'served':>7} "
               f"{'errors':>7} {'mean latency':>14}")
+    if pooled:
+        header += f" {'pooled':>6}"
     if faulty:
         header += f" {'inj':>5} {'retry':>5} {'recov':>5} {'fail':>5}"
     lines.append(header)
@@ -138,10 +148,86 @@ def render_per_op(frontend) -> str:
             f"  {s.op:<14} {s.submitted:>9} {s.served:>7} {s.errors:>7} "
             f"{s.mean_latency * 1e6:>11.1f} us"
         )
+        if pooled:
+            line += f" {s.pooled:>6}"
         if faulty:
             line += (f" {s.injected:>5} {s.retried:>5} "
                      f"{s.recovered:>5} {s.failed:>5}")
         lines.append(line)
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConcurrencyStats:
+    """How one VM's event loop and backend pool spent a run.
+
+    Under the paper's blocking dispatch the interesting number is
+    ``event_loop_occupancy`` — the fraction of wall time the vCPU was
+    *paused* inside a blocking host syscall (§III's whole-VM freeze).
+    Under pooled dispatch that fraction collapses toward zero and the
+    pool-side numbers take over the story.
+    """
+
+    vm: str
+    elapsed: float  # seconds of simulated time covered
+    #: fraction of the run the QEMU event loop was frozen (vCPU paused)
+    event_loop_occupancy: float
+    #: pool numbers (all zero when running the blocking default)
+    pool_size: int = 0
+    pool_utilization: float = 0.0
+    peak_inflight: int = 0
+    pooled_requests: int = 0
+    credit_wait: float = 0.0
+    #: machine-wide arbiter grants charged to this VM
+    arbiter_grants: int = 0
+
+    @property
+    def pooled(self) -> bool:
+        return self.pool_size > 0
+
+
+def concurrency_stats(vm, elapsed: float = None) -> ConcurrencyStats:
+    """Event-loop occupancy + pool utilization for one vPHI-enabled VM.
+
+    ``elapsed`` defaults to the simulation clock, which is right after a
+    ``machine.run()`` to quiescence; pass an explicit window to normalise
+    a sub-interval.
+    """
+    backend = vm.vphi.backend
+    if elapsed is None:
+        elapsed = backend.sim.now
+    paused = vm.domain.paused_time
+    occupancy = min(paused / elapsed, 1.0) if elapsed > 0 else 0.0
+    pool = backend.pool
+    if pool is None:
+        return ConcurrencyStats(vm.name, elapsed, occupancy)
+    return ConcurrencyStats(
+        vm.name, elapsed, occupancy,
+        pool_size=pool.size,
+        pool_utilization=pool.utilization(elapsed),
+        peak_inflight=pool.peak_inflight,
+        pooled_requests=pool.completed,
+        credit_wait=pool.credit_wait,
+        arbiter_grants=pool.arbiter.grants_by_vm.get(vm.name, 0),
+    )
+
+
+def render_concurrency(vm, elapsed: float = None) -> str:
+    """Human-readable concurrency summary for one VM."""
+    s = concurrency_stats(vm, elapsed)
+    mode = f"pooled x{s.pool_size}" if s.pooled else "blocking"
+    lines = [
+        f"vPHI backend concurrency ({s.vm}, {mode} dispatch):",
+        f"  event-loop occupancy (vCPU paused)  {s.event_loop_occupancy:6.1%}",
+    ]
+    if s.pooled:
+        lines += [
+            f"  pool utilization                    {s.pool_utilization:6.1%}",
+            f"  peak in-flight window               {s.peak_inflight:>6}",
+            f"  requests pooled                     {s.pooled_requests:>6}",
+            f"  time waiting for dispatch credits   {s.credit_wait * 1e6:6.1f} us",
+            f"  card arbiter grants                 {s.arbiter_grants:>6}",
+        ]
     return "\n".join(lines)
 
 

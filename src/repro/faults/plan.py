@@ -70,6 +70,9 @@ class FaultKind:
     RING_CORRUPT = "ring_corrupt"
     #: the QEMU worker servicing the request dies; QEMU respawns it
     #: after ``duration`` and the request completes with ECONNRESET.
+    #: Under pooled dispatch the victim is the pool member holding the
+    #: request — it respawns in place (same shard queue) so per-endpoint
+    #: ordering survives the death.
     WORKER_DEATH = "worker_death"
     #: the card resets mid-RMA; in-flight host calls fail with ENXIO.
     CARD_RESET = "card_reset"

@@ -27,6 +27,7 @@ from .ops import (
     spec_for,
     temporary_op,
 )
+from .pool import CardArbiter, WorkerPool
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
 from .setup import VPhiInstance, install_vphi
 from .wait import HybridWait, InterruptWait, PollingWait, make_wait_scheme
@@ -36,6 +37,7 @@ __all__ = [
     "BLOCKING",
     "BatchCall",
     "BounceBuffers",
+    "CardArbiter",
     "GuestEndpoint",
     "GuestScif",
     "HybridWait",
@@ -52,6 +54,7 @@ __all__ = [
     "VPhiRequest",
     "VPhiResponse",
     "WaitMode",
+    "WorkerPool",
     "chunk_plan",
     "default_nonblocking_ops",
     "install_vphi",

@@ -16,6 +16,15 @@ precisely what enables Xeon Phi sharing.
 Per-operation semantics live in the :mod:`~repro.vphi.ops` registry; the
 backend is a table-driven executor: look the spec up, charge its cost
 hooks, run its handler against the host :class:`~repro.scif.NativeScif`.
+
+Dispatch runs in one of two modes.  **Blocking** (the default, the
+paper's implementation): blocking-class ops are handled inline on QEMU's
+event loop with the whole VM paused; unbounded ops spawn ad-hoc worker
+threads.  **Pooled** (``VPhiConfig(backend_workers=N)``): every
+pool-eligible op is handed to a persistent :class:`~repro.vphi.pool.WorkerPool`
+member instead, the vCPU keeps running, and at most
+``VPhiConfig.max_inflight`` popped requests are in flight — excess
+chains wait on the avail ring.
 """
 
 from __future__ import annotations
@@ -28,10 +37,12 @@ import numpy as np
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
 from ..faults import ENODEV, NO_FAULTS, FaultInjector, FaultKind, FaultSite, Injection
 from ..scif import Endpoint, NativeScif, Prot, RmaFlag, ScifError
-from ..sim import Tracer
+from ..scif.endpoint import EpState
+from ..sim import Event, Tracer
 from ..virtio import VirtioDevice, VirtqueueElement
 from .config import VPhiConfig
 from .ops import OpSpec, spec_for
+from .pool import CardArbiter, WorkerPool
 from .protocol import VPhiRequest, VPhiResponse
 
 __all__ = ["VPhiBackend"]
@@ -50,6 +61,7 @@ class VPhiBackend:
         costs: VPhiCosts = VPHI_COSTS,
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
+        arbiter: Optional[CardArbiter] = None,
     ):
         self.vm = vm
         self.sim = vm.sim
@@ -73,6 +85,18 @@ class VPhiBackend:
         self.requests_served = 0
         self.errors_returned = 0
         self.endpoint_reopens = 0
+        #: per-handle re-open gates: one driver-death outage triggers one
+        #: re-open even when several pooled workers hit ENODEV at once.
+        self._reopening: dict[int, Event] = {}
+        #: the worker pool (None in the paper's blocking dispatch mode).
+        self.pool: Optional[WorkerPool] = None
+        if self.config.pooled:
+            arbiter = arbiter or CardArbiter(
+                self.sim, slots=self.config.backend_workers
+            )
+            self.pool = WorkerPool(
+                self, self.config.backend_workers, arbiter, costs=self.costs
+            )
 
     # ------------------------------------------------------------------
     # endpoint handle table (used by the registered op handlers)
@@ -99,7 +123,18 @@ class VPhiBackend:
         yield self.sim.timeout(0)
 
     def _drain(self) -> None:
-        """Pop every available chain; manage the device-busy flag.
+        """Pop available chains and dispatch each; manage the busy flag.
+
+        Classification: with a worker pool armed, every pool-eligible op
+        (per the registry's blocking class) goes to its pool shard and
+        the event loop never pauses the VM; the remaining unbounded ops
+        keep their dedicated ad-hoc worker threads.  Without a pool this
+        is the paper's dispatch verbatim — blocking-class ops freeze the
+        whole VM inline.
+
+        The pool's in-flight window bounds how much is popped: once
+        ``max_inflight`` requests are popped-but-incomplete the rest stay
+        on the avail ring and a retiring completion re-drains.
 
         When the last in-flight request retires and the ring is empty the
         device declares itself idle — then re-checks the ring once, in
@@ -107,24 +142,48 @@ class VPhiBackend:
         lost-wakeup protocol).
         """
         while True:
+            if (self.pool is not None
+                    and self.pool.inflight >= self.config.max_inflight):
+                break
             elem = self.virtio.ring.pop_avail()
             if elem is None:
                 break
             req: VPhiRequest = elem.header
-            blocking = self.config.is_blocking(req.op)
+            spec = spec_for(req.op)
             self.in_flight += 1
-            self.vm.qemu.post_event(
-                (lambda e=elem: self.handle(e)), blocking=blocking
-            )
+            if self.pool is not None and spec.rides_pool:
+                self.tracer.count(spec.pooled_key)
+                self.pool.submit(elem, spec)
+            else:
+                blocking = (self.config.is_blocking(req.op)
+                            if self.pool is None else False)
+                self.vm.qemu.post_event(
+                    (lambda e=elem: self.handle(e)), blocking=blocking
+                )
         if self.in_flight == 0:
             self.virtio.backend_idle()
             if self.virtio.ring.avail_pending():
                 self.virtio.backend_busy = True
                 self._drain()
 
+    def request_retired(self) -> None:
+        """One request left the in-flight set; re-drain for parked work."""
+        self.in_flight -= 1
+        self._drain()
+
     # ------------------------------------------------------------------
     def handle(self, elem: VirtqueueElement):
-        """Process one request end-to-end and complete it on the ring."""
+        """Event-loop / ad-hoc-worker entry: service one request."""
+        yield from self._service(elem)
+        self.request_retired()
+
+    def _service(self, elem: VirtqueueElement, worker: Optional[int] = None):
+        """Process one request end-to-end and complete it on the ring.
+
+        ``worker`` is the pool member index when a pool shard is the
+        caller (``None`` on the event-loop path) — WORKER_DEATH faults
+        then target that member.
+        """
         req: VPhiRequest = elem.header
         spec = spec_for(req.op)
         # map guest buffers + dispatch overhead
@@ -144,7 +203,8 @@ class VPhiBackend:
             inj = self.faults.draw(FaultSite.BACKEND_DISPATCH,
                                    op=spec.op_name, vm=self.vm.name)
             if inj is not None:
-                yield from self._apply_dispatch_fault(spec, req, inj)
+                yield from self._apply_dispatch_fault(spec, req, inj,
+                                                      worker=worker)
             result, written = yield from self._dispatch(spec, req, elem)
             resp.result = result
             resp.written = written
@@ -160,9 +220,6 @@ class VPhiBackend:
         # the response record is written into the shared chain header
         self.virtio.ring.push_used(elem, written=resp.written, header=resp)
         self.virtio.inject_irq()
-        self.in_flight -= 1
-        # pick up requests whose kicks were suppressed while we worked
-        self._drain()
 
     def _dispatch(self, spec: OpSpec, req: VPhiRequest, elem: VirtqueueElement):
         """Table-driven dispatch: cost hooks around the registered handler.
@@ -187,7 +244,7 @@ class VPhiBackend:
                          kind=inj.kind, op=spec.op_name, vm=self.vm.name)
 
     def _apply_dispatch_fault(self, spec: OpSpec, req: VPhiRequest,
-                              inj: Injection):
+                              inj: Injection, worker: Optional[int] = None):
         """Process: play out one injected dispatch-site fault.
 
         Always ends by raising the injection's typed :class:`ScifError`
@@ -197,13 +254,26 @@ class VPhiBackend:
         """
         self._record_injection(spec, inj)
         if inj.kind == FaultKind.WORKER_DEATH:
-            # the worker servicing this request dies; QEMU notices after
-            # the respawn delay and completes the orphan with ECONNRESET
-            # so the ring descriptors are never leaked.
-            yield self.sim.timeout(inj.spec.outage)
-            self.tracer.emit("vphi.timeline",
-                             "worker respawned, orphan request aborted",
-                             tag=req.tag, op=spec.op_name, vm=self.vm.name)
+            if worker is not None and self.pool is not None:
+                # a pool member died mid-request; QEMU respawns it in
+                # place (same shard, same queue) and completes the orphan
+                # with ECONNRESET so the ring descriptors aren't leaked.
+                self.pool.note_death(worker)
+                yield self.sim.timeout(inj.spec.outage)
+                yield self.sim.timeout(self.costs.worker_spawn)
+                self.tracer.emit("vphi.timeline",
+                                 "pool member died, respawned in place",
+                                 tag=req.tag, op=spec.op_name,
+                                 worker=worker, vm=self.vm.name)
+            else:
+                # the ad-hoc worker servicing this request dies; QEMU
+                # notices after the respawn delay and completes the
+                # orphan with ECONNRESET so the ring descriptors are
+                # never leaked.
+                yield self.sim.timeout(inj.spec.outage)
+                self.tracer.emit("vphi.timeline",
+                                 "worker respawned, orphan request aborted",
+                                 tag=req.tag, op=spec.op_name, vm=self.vm.name)
         elif inj.kind == FaultKind.CARD_RESET:
             # mid-RMA card reset: the card is unreachable for the reset
             # window, then every in-flight transfer aborts with ENXIO.
@@ -222,20 +292,77 @@ class VPhiBackend:
         """Process: restore the backend's descriptor after driver death.
 
         An injected ENODEV means the host SCIF driver revoked the
-        backend's open descriptor; QEMU re-opens the device node and
-        reattaches it to the surviving kernel endpoint (the simulation
-        keeps one :class:`Endpoint` object for both), so the
-        guest-visible handle stays valid and the frontend's retry of an
-        idempotent op can succeed.
+        backend's open descriptor; QEMU re-opens the device node as a
+        *fresh* :class:`Endpoint` carrying over the surviving kernel
+        state, so the guest-visible handle stays valid and the
+        frontend's retry of an idempotent op can succeed.
+
+        Concurrent callers (several pooled workers hitting ENODEV from
+        the same driver-death outage) are collapsed through a per-handle
+        gate: the first caller performs the re-open, the rest wait for
+        it — one outage, one re-open, one fresh descriptor.
         """
         if handle not in self.endpoints:
             return
-        yield self.sim.timeout(self.lib.costs.syscall)
-        self.endpoint_reopens += 1
-        self.tracer.count("vphi.backend.endpoint_reopens")
-        self.tracer.emit("vphi.timeline",
-                         "host endpoint re-opened after driver death",
-                         handle=handle, vm=self.vm.name)
+        pending = self._reopening.get(handle)
+        if pending is not None:
+            # another worker is already re-opening this handle; wait for
+            # its fresh descriptor rather than racing a second re-open.
+            if not pending.triggered:
+                yield pending
+            return
+        gate = self.sim.event(name=f"{self.vm.name}-reopen-{handle}")
+        self._reopening[handle] = gate
+        try:
+            yield self.sim.timeout(self.lib.costs.syscall)
+            self._swap_endpoint(handle)
+            self.endpoint_reopens += 1
+            self.tracer.count("vphi.backend.endpoint_reopens")
+            self.tracer.emit("vphi.timeline",
+                             "host endpoint re-opened after driver death",
+                             handle=handle, vm=self.vm.name)
+        finally:
+            del self._reopening[handle]
+            gate.succeed()
+
+    def _swap_endpoint(self, handle: int) -> None:
+        """Replace a revoked descriptor with a fresh :class:`Endpoint`.
+
+        The re-opened descriptor must be a *new* object: reusing the old
+        one would let a handle that was concurrently connected elsewhere
+        alias a live peer (the dead descriptor's ``peer`` pointer still
+        reaches the peer's receive queue).  The fresh endpoint adopts
+        the surviving kernel state — connection, receive queue, windows,
+        RMA fences — and the wait queues move wholesale so parked
+        recv/poll/fence waiters wake on the survivor instead of
+        stranding on the dead object.
+        """
+        old = self.endpoints[handle]
+        new = Endpoint(old.sim, old.node, owner=old.owner)
+        new.state = old.state
+        new.port = old.port
+        new.peer_addr = old.peer_addr
+        new.peer_closed = old.peer_closed
+        new._rx = old._rx
+        new.rx_bytes = old.rx_bytes
+        new.backlog = old.backlog
+        new.windows = old.windows
+        new.rma_last_issued = old.rma_last_issued
+        new.rma_outstanding = old.rma_outstanding
+        new.bytes_sent = old.bytes_sent
+        new.bytes_received = old.bytes_received
+        new.recv_wait = old.recv_wait
+        new.poll_wait = old.poll_wait
+        new.fence_wait = old.fence_wait
+        peer = old.peer
+        new.peer = peer
+        if peer is not None and peer.peer is old:
+            peer.peer = new
+        # detach the dead descriptor so nothing can reach it again
+        old.peer = None
+        old.peer_closed = True
+        old.state = EpState.CLOSED
+        self.endpoints[handle] = new
 
     # ------------------------------------------------------------------
     # guest buffer access (zero copy: descriptors are guest-physical)

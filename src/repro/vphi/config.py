@@ -65,6 +65,19 @@ class VPhiConfig:
     #: further retry doubles it, capped at ``retry_backoff_max``.
     retry_backoff: float = 100e-6
     retry_backoff_max: float = 5e-3
+    #: size of the backend's persistent worker pool.  ``0`` (the default)
+    #: keeps the paper's dispatch exactly: blocking-class ops freeze the
+    #: whole VM in QEMU's event loop, unbounded ops spawn ad-hoc worker
+    #: threads — the Fig 4/5 baselines stay byte-identical.  ``> 0``
+    #: routes every pool-eligible op (see :attr:`OpSpec.rides_pool`) to
+    #: that many persistent workers, so the vCPU keeps running and
+    #: completions return out of order by tag.
+    backend_workers: int = 0
+    #: bound on requests popped off the avail ring but not yet completed
+    #: while the pool is active; excess chains stay on the ring until a
+    #: completion retires (back-pressure toward the guest).  Ignored in
+    #: blocking mode.
+    max_inflight: int = 32
 
     def __post_init__(self) -> None:
         if self.wait_mode not in WaitMode.ALL:
@@ -81,6 +94,15 @@ class VPhiConfig:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff < 0 or self.retry_backoff_max < self.retry_backoff:
             raise ValueError("need 0 <= retry_backoff <= retry_backoff_max")
+        if self.backend_workers < 0:
+            raise ValueError("backend_workers must be >= 0 (0 = blocking dispatch)")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+
+    @property
+    def pooled(self) -> bool:
+        """Whether backend dispatch runs on the worker pool."""
+        return self.backend_workers > 0
 
     def is_blocking(self, op) -> bool:
         return op not in self.nonblocking_ops

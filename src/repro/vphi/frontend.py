@@ -134,6 +134,9 @@ class VPhiFrontend:
         #: tags whose caller gave up (watchdog expiry): their late
         #: responses are dropped at drain time instead of parking forever.
         self._abandoned: set[int] = set()
+        #: high-water mark of reaped tags — detects (and counts) pooled
+        #: out-of-order completion without constraining it.
+        self._max_completed_tag = 0
         virtio.bind_guest_isr(self.irq_handler)
         vm.guest_kernel.vphi_frontend = self
         #: metrics
@@ -172,10 +175,36 @@ class VPhiFrontend:
                 self._abandoned.discard(resp.tag)
                 self.tracer.count("vphi.fault.late_responses")
                 continue
+            if resp.tag in self.responses:
+                raise SimError(
+                    f"{self.vm.name}: duplicate completion for tag {resp.tag}"
+                )
+            if resp.tag < self._max_completed_tag:
+                # pooled dispatch retires requests out of submission
+                # order; count it (the correlation stays exact by tag).
+                self.tracer.count("vphi.completions.out_of_order")
+            else:
+                self._max_completed_tag = resp.tag
             self.responses[resp.tag] = resp
         if reaped:
             # reaping released descriptors: unblock parked submitters
             self.ring_space.wake_all()
+
+    def claim_response(self, tag: int) -> VPhiResponse:
+        """Hand a parked completion to its waiter, exactly once.
+
+        Completion matching is strictly by tag: each wait scheme parks
+        until *its* tag lands and claims only that record, so pooled
+        out-of-order completions can never reach the wrong caller.
+        Claiming a tag with no parked response is a driver bug, not a
+        recoverable condition.
+        """
+        try:
+            return self.responses.pop(tag)
+        except KeyError:
+            raise SimError(
+                f"{self.vm.name}: claimed tag {tag} has no parked response"
+            ) from None
 
     # ------------------------------------------------------------------
     # request path

@@ -14,6 +14,11 @@ needs to know about one operation is declared *here*, exactly once, as an
 * the **blocking class** — whether QEMU services the request inline
   (freezing the VM) or on a worker thread (ops with unbounded completion
   time: accept/poll/fences);
+* the **pool eligibility** — whether the backend's persistent worker
+  pool (``VPhiConfig.backend_workers``) may service the op.  Defaults
+  derive from the blocking class: bounded (blocking-class) ops ride the
+  pool, unbounded ones keep a dedicated worker thread so a parked
+  accept/poll can never starve the pool's shards;
 * the **idempotency class** — whether replaying the op after a transient
   fault is observably identical to running it once.  The frontend's
   recovery machinery retries idempotent ops (bounded exponential
@@ -103,6 +108,9 @@ class OpSpec:
     #: (syscall entry + driver dispatch, completion message, ...).
     pre_cost: Optional[Callable] = None  # (backend, req) -> float
     post_cost: Optional[Callable] = None  # (backend, req) -> float
+    #: whether the backend's worker pool may service this op.  ``None``
+    #: (the default) derives from the blocking class — see :attr:`rides_pool`.
+    pool_eligible: Optional[bool] = None
 
     # ------------------------------------------------------------------
     # derived trace keys: the single source the frontend, backend and
@@ -157,6 +165,20 @@ class OpSpec:
     def blocking(self) -> bool:
         return self.blocking_class == BLOCKING
 
+    @property
+    def rides_pool(self) -> bool:
+        """Effective pool eligibility: the explicit flag, else derived
+        from the blocking class.  Bounded-completion (blocking-class) ops
+        ride the pool; unbounded ones (accept/poll/fences) keep their
+        dedicated worker thread — a parked accept occupying a pool shard
+        would starve every op hashed to the same shard."""
+        return self.blocking if self.pool_eligible is None else self.pool_eligible
+
+    @property
+    def pooled_key(self) -> str:
+        """Backend: requests serviced by the worker pool."""
+        return f"vphi.op.{self.op_name}.pooled"
+
     # ------------------------------------------------------------------
     def marshal(self, call_args: dict) -> dict:
         """Build the request's scalar-argument dict from a guest call.
@@ -204,6 +226,7 @@ def register(
     carries_in: bool = False,
     pre_cost: Optional[Callable] = None,
     post_cost: Optional[Callable] = None,
+    pool_eligible: Optional[bool] = None,
 ) -> Callable:
     """Decorator: register ``op``'s backend handler plus its declaration.
 
@@ -229,6 +252,7 @@ def register(
             carries_in=carries_in,
             pre_cost=pre_cost,
             post_cost=post_cost,
+            pool_eligible=pool_eligible,
         )
         return handler
 

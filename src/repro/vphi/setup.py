@@ -18,6 +18,7 @@ from .backend import VPhiBackend
 from .config import VPhiConfig
 from .frontend import VPhiFrontend
 from .guest_libscif import GuestScif
+from .pool import CardArbiter
 
 __all__ = ["VPhiInstance", "install_vphi"]
 
@@ -74,9 +75,18 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstan
         vm, virtio, config=config, host_params=machine.host_params,
         tracer=vm.tracer, faults=faults,
     )
+    # all pooled VMs on this machine share one dispatch arbiter — that is
+    # what makes the round-robin fairness *per card*, not per VM.  Lazily
+    # created so blocking-mode machines carry no arbiter at all.
+    arbiter = None
+    if config.pooled:
+        arbiter = getattr(machine, "vphi_arbiter", None)
+        if arbiter is None:
+            arbiter = CardArbiter(machine.sim, slots=machine.host_params.cores)
+            machine.vphi_arbiter = arbiter
     backend = VPhiBackend(
         vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer,
-        faults=faults,
+        faults=faults, arbiter=arbiter,
     )
     # replicate the host's mic sysfs inside the guest (live passthrough)
     for path, _ in machine.kernel.sysfs.walk():

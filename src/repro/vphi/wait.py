@@ -59,7 +59,7 @@ class InterruptWait:
             # ring is the dominant cost of the whole vPHI path (§IV-B).
             yield sim.timeout(self.costs.wakeup_scheme)
             frontend.tracer.accumulate("vphi.wait_scheme_time", self.costs.wakeup_scheme)
-        return frontend.responses.pop(tag)
+        return frontend.claim_response(tag)
 
 
 class PollingWait:
@@ -79,7 +79,7 @@ class PollingWait:
             yield sim.timeout(self.costs.poll_interval)
             frontend.tracer.accumulate("vphi.poll_cpu_time", self.costs.poll_interval)
             frontend.drain_used()
-        return frontend.responses.pop(tag)
+        return frontend.claim_response(tag)
 
 
 class HybridWait:
