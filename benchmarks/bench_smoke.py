@@ -90,7 +90,25 @@ def _run_a10() -> dict:
     }
 
 
-FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10}
+def _run_a11() -> dict:
+    """A11: session recovery time (seconds) vs journal size.
+
+    One CARD_RESET against a queue-policy VM holding N full sessions;
+    the series pins the per-journaled-op replay cost so recovery-path
+    changes show up as reviewable golden drift, not silent regressions.
+    """
+    from test_ablation_session_recovery import run_session_recovery_ablation
+
+    series = run_session_recovery_ablation()
+    return {
+        "figure": "a11",
+        "unit": "seconds",
+        "rebuild_by_replayed_ops": [[ops, t] for _, ops, t, _ in series],
+    }
+
+
+FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10,
+           "a11": _run_a11}
 
 
 def canonical(series: dict) -> str:

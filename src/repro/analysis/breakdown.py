@@ -21,12 +21,15 @@ __all__ = [
     "ConcurrencyStats",
     "OpStats",
     "PhaseShare",
+    "RecoveryStats",
     "concurrency_stats",
     "overhead_breakdown",
     "per_op_stats",
+    "recovery_stats",
     "render_breakdown",
     "render_concurrency",
     "render_per_op",
+    "render_recovery",
 ]
 
 
@@ -88,6 +91,9 @@ class OpStats:
     #: requests serviced by a pool member instead of a blocking worker
     #: (zero under the default blocking dispatch)
     pooled: int = 0
+    #: completions from a pre-reset epoch dropped at the frontend demux
+    #: (zero unless a session recovery fenced mid-flight requests)
+    stale_dropped: int = 0
 
     @property
     def error_rate(self) -> float:
@@ -121,6 +127,7 @@ def per_op_stats(frontend) -> list[OpStats]:
             recovered=tracer.counters.get(spec.recovered_key, 0),
             failed=tracer.counters.get(spec.failed_key, 0),
             pooled=tracer.counters.get(spec.pooled_key, 0),
+            stale_dropped=tracer.counters.get(spec.stale_key, 0),
         ))
     out.sort(key=lambda s: s.submitted, reverse=True)
     return out
@@ -136,12 +143,15 @@ def render_per_op(frontend) -> str:
     faulty = any(s.injected or s.retried or s.recovered or s.failed
                  for s in rows)
     pooled = any(s.pooled for s in rows)
+    stale = any(s.stale_dropped for s in rows)
     header = (f"  {'op':<14} {'submitted':>9} {'served':>7} "
               f"{'errors':>7} {'mean latency':>14}")
     if pooled:
         header += f" {'pooled':>6}"
     if faulty:
         header += f" {'inj':>5} {'retry':>5} {'recov':>5} {'fail':>5}"
+    if stale:
+        header += f" {'stale':>5}"
     lines.append(header)
     for s in rows:
         line = (
@@ -153,6 +163,8 @@ def render_per_op(frontend) -> str:
         if faulty:
             line += (f" {s.injected:>5} {s.retried:>5} "
                      f"{s.recovered:>5} {s.failed:>5}")
+        if stale:
+            line += f" {s.stale_dropped:>5}"
         lines.append(line)
     return "\n".join(lines)
 
@@ -228,6 +240,85 @@ def render_concurrency(vm, elapsed: float = None) -> str:
             f"  time waiting for dispatch credits   {s.credit_wait * 1e6:6.1f} us",
             f"  card arbiter grants                 {s.arbiter_grants:>6}",
         ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """How one VM's vPHI session weathered card resets and restarts.
+
+    All-zero on fault-free runs; with ``recovery_policy`` armed the
+    interesting numbers are ``recoveries`` (complete journal replays),
+    ``rebuild_mean`` (how long the session stayed degraded) and
+    ``stale_dropped`` (pre-reset completions the epoch fence kept out of
+    the rebuilt state).
+    """
+
+    vm: str
+    policy: str
+    state: str
+    resets_seen: int = 0
+    recoveries: int = 0
+    replayed_ops: int = 0
+    replay_failures: int = 0
+    endpoints_lost: int = 0
+    aborted_inflight: int = 0
+    stale_dropped: int = 0
+    queued_submits: int = 0
+    rejected_submits: int = 0
+    journal_size: int = 0
+    circuit_open: bool = False
+    rebuild_mean: float = 0.0  # seconds
+    rebuild_max: float = 0.0  # seconds
+
+
+def recovery_stats(vm) -> RecoveryStats:
+    """Session-recovery metrics for one vPHI-enabled VM."""
+    ses = vm.vphi.frontend.session
+    times = ses.rebuild_times
+    return RecoveryStats(
+        vm.name,
+        policy=ses.policy,
+        state=ses.state,
+        resets_seen=ses.resets_seen,
+        recoveries=ses.recoveries,
+        replayed_ops=ses.replayed_ops,
+        replay_failures=ses.replay_failures,
+        endpoints_lost=ses.tracer.counters.get("vphi.session.endpoints_lost", 0),
+        aborted_inflight=ses.aborted_inflight,
+        stale_dropped=ses.stale_drops,
+        queued_submits=ses.queued_submits,
+        rejected_submits=ses.rejected_submits,
+        journal_size=ses.journal.size,
+        circuit_open=ses.state == "broken",
+        rebuild_mean=sum(times) / len(times) if times else 0.0,
+        rebuild_max=max(times) if times else 0.0,
+    )
+
+
+def render_recovery(vm) -> str:
+    """Human-readable session-recovery summary for one VM."""
+    s = recovery_stats(vm)
+    lines = [
+        f"vPHI session recovery ({s.vm}, policy={s.policy}, state={s.state}):",
+        f"  resets seen                         {s.resets_seen:>6}",
+        f"  sessions rebuilt                    {s.recoveries:>6}",
+        f"  ops replayed                        {s.replayed_ops:>6}",
+        f"  replay failures                     {s.replay_failures:>6}",
+        f"  endpoints lost                      {s.endpoints_lost:>6}",
+        f"  in-flight requests fenced           {s.aborted_inflight:>6}",
+        f"  stale completions dropped           {s.stale_dropped:>6}",
+        f"  submits queued during rebuild       {s.queued_submits:>6}",
+        f"  submits rejected (fail-fast)        {s.rejected_submits:>6}",
+        f"  journal size (facts)                {s.journal_size:>6}",
+    ]
+    if s.recoveries:
+        lines.append(
+            f"  rebuild time mean / max       {s.rebuild_mean * 1e6:8.1f} / "
+            f"{s.rebuild_max * 1e6:.1f} us"
+        )
+    if s.circuit_open:
+        lines.append("  CIRCUIT OPEN: session abandoned after repeated resets")
     return "\n".join(lines)
 
 

@@ -57,6 +57,12 @@ class Injection:
             from ..scif.errors import ENXIO
 
             return ENXIO(f"card reset mid-operation (injected at {self.time:g}s)")
+        if self.kind == FaultKind.BACKEND_RESTART:
+            from ..scif.errors import ESHUTDOWN
+
+            return ESHUTDOWN(
+                f"vphi backend restarted mid-operation (injected at {self.time:g}s)"
+            )
         return self.spec.errno(
             f"host scif syscall failed (injected {self.spec.errno.__name__} "
             f"at {self.time:g}s)"
@@ -99,12 +105,19 @@ class FaultInjector:
         self.log: list[Injection] = []
         #: PCIe links registered for LINK_FLAP delivery.
         self.links: list = []
+        #: vPHI backends registered for machine-wide CARD_RESET fan-out.
+        self.backends: list = []
 
     # ------------------------------------------------------------------
     def attach_link(self, link) -> None:
         """Register a PCIe link as a flap target."""
         if link not in self.links:
             self.links.append(link)
+
+    def attach_backend(self, backend) -> None:
+        """Register a vPHI backend as a card-reset broadcast target."""
+        if backend not in self.backends:
+            self.backends.append(backend)
 
     @property
     def active(self) -> bool:

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Type
 
 from ..scif import ScifError
-from ..scif.errors import ECONNRESET, ENXIO, ETIMEDOUT
+from ..scif.errors import ECONNRESET, ENXIO, ESHUTDOWN, ETIMEDOUT, EStaleEpoch
 from ..sim import SimError
 
 __all__ = [
@@ -46,10 +46,13 @@ class ENODEV(ScifError):
 
 
 #: error classes a retry can plausibly cure: connection resets, driver
-#: death (the backend re-opens), card resets (the card comes back) and
-#: frontend-side op timeouts.  Everything else (EINVAL, EADDRINUSE, ...)
-#: reflects caller state and is never retried.
-TRANSIENT_ERRORS: tuple[Type[ScifError], ...] = (ECONNRESET, ENODEV, ENXIO, ETIMEDOUT)
+#: death (the backend re-opens), card resets (the card comes back),
+#: backend restarts (the process comes back), epoch fences (the session
+#: rebuilds) and frontend-side op timeouts.  Everything else (EINVAL,
+#: EADDRINUSE, ...) reflects caller state and is never retried.
+TRANSIENT_ERRORS: tuple[Type[ScifError], ...] = (
+    ECONNRESET, ENODEV, ENXIO, ESHUTDOWN, EStaleEpoch, ETIMEDOUT,
+)
 
 
 def is_transient(err: BaseException) -> bool:
@@ -75,9 +78,16 @@ class FaultKind:
     #: ordering survives the death.
     WORKER_DEATH = "worker_death"
     #: the card resets mid-RMA; in-flight host calls fail with ENXIO.
+    #: Machine-wide: every VM sharing the card has its in-flight pooled
+    #: requests aborted and its session invalidated.
     CARD_RESET = "card_reset"
+    #: the backend process (QEMU-side vPHI device) restarts: all of its
+    #: host endpoints die with ESHUTDOWN and the session must rebuild,
+    #: but only the triggering VM is affected.
+    BACKEND_RESTART = "backend_restart"
 
-    ALL = (LINK_FLAP, SCIF_ERROR, RING_CORRUPT, WORKER_DEATH, CARD_RESET)
+    ALL = (LINK_FLAP, SCIF_ERROR, RING_CORRUPT, WORKER_DEATH, CARD_RESET,
+           BACKEND_RESTART)
 
 
 class FaultSite:
@@ -100,6 +110,7 @@ SITE_FOR_KIND = {
     FaultKind.RING_CORRUPT: FaultSite.RING_POP,
     FaultKind.WORKER_DEATH: FaultSite.BACKEND_DISPATCH,
     FaultKind.CARD_RESET: FaultSite.BACKEND_DISPATCH,
+    FaultKind.BACKEND_RESTART: FaultSite.BACKEND_DISPATCH,
 }
 
 #: default outage/respawn duration per kind (simulated seconds).
@@ -109,6 +120,7 @@ DEFAULT_DURATION = {
     FaultKind.RING_CORRUPT: 0.0,
     FaultKind.WORKER_DEATH: 500e-6,
     FaultKind.CARD_RESET: 1e-3,
+    FaultKind.BACKEND_RESTART: 2e-3,
 }
 
 

@@ -102,3 +102,24 @@ class KvmMmu:
             return mem, paddr
         self.tracer.count("kvm.fault.regular")
         raise PageFault(page_vaddr, f"kvm[{self.vm_name}]: unhandled EPT fault")
+
+    def zap_vma(self, space: AddressSpace, vma: VMA) -> int:
+        """Drop every installed translation for ``vma``.
+
+        After a card reset the frame numbers stashed on a PFNPHI VMA are
+        stale — the windows were rebuilt and may live elsewhere on the
+        card.  Session recovery swaps ``vma.private`` for the fresh
+        :class:`PfnPhiInfo` and zaps the old EPT entries; the next guest
+        access faults back into :meth:`handle_fault` and resolves against
+        the new frames.  Returns the number of pages zapped.
+        """
+        zapped = 0
+        for vaddr in range(vma.start, vma.end, PAGE_SIZE):
+            if space.is_present(vaddr):
+                space.unmap_page(vaddr)
+                zapped += 1
+        self.tracer.count("kvm.zap.vma")
+        self.tracer.count("kvm.zap.pages", zapped)
+        self.tracer.emit("vphi.timeline", "EPT entries zapped for rebuilt mapping",
+                         vma=vma.name, pages=zapped)
+        return zapped

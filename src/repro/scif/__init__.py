@@ -27,7 +27,9 @@ from .errors import (
     ENOMEM,
     ENOTCONN,
     ENXIO,
+    ESHUTDOWN,
     ETIMEDOUT,
+    EStaleEpoch,
     ScifError,
 )
 from .fabric import ScifFabric, ScifNode
@@ -46,6 +48,8 @@ __all__ = [
     "ENOMEM",
     "ENOTCONN",
     "ENXIO",
+    "ESHUTDOWN",
+    "EStaleEpoch",
     "ETIMEDOUT",
     "Endpoint",
     "EpState",

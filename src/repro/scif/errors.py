@@ -16,6 +16,8 @@ __all__ = [
     "EACCES",
     "ETIMEDOUT",
     "EBADF",
+    "ESHUTDOWN",
+    "EStaleEpoch",
 ]
 
 
@@ -74,3 +76,24 @@ class ETIMEDOUT(ScifError):
 
 class EBADF(ScifError):
     errno_name = "EBADF"
+
+
+class ESHUTDOWN(ScifError):
+    """The servicing endpoint of the transport is shutting down (backend
+    process restart): no further sends can be initiated until the peer
+    side is re-established."""
+
+    errno_name = "ESHUTDOWN"
+
+
+class EStaleEpoch(ScifError):
+    """A completion (or a submit) straddled a session epoch boundary.
+
+    This errno exists only at the virtualization layer: native SCIF has
+    no notion of a session generation.  The vPHI frontend stamps every
+    request with the session epoch; when a card reset or backend restart
+    fences the epoch, late pre-reset completions and rejected submits
+    surface as EStaleEpoch (mapped to ESTALE at the libscif boundary)
+    instead of silently mutating rebuilt state."""
+
+    errno_name = "ESTALE"

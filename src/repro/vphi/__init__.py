@@ -29,6 +29,13 @@ from .ops import (
 )
 from .pool import CardArbiter, WorkerPool
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .session import (
+    EndpointRecord,
+    MmapRecord,
+    SessionJournal,
+    SessionManager,
+    WindowRecord,
+)
 from .setup import VPhiInstance, install_vphi
 from .wait import HybridWait, InterruptWait, PollingWait, make_wait_scheme
 
@@ -38,8 +45,12 @@ __all__ = [
     "BatchCall",
     "BounceBuffers",
     "CardArbiter",
+    "EndpointRecord",
     "GuestEndpoint",
     "GuestScif",
+    "MmapRecord",
+    "SessionJournal",
+    "SessionManager",
     "HybridWait",
     "InterruptWait",
     "NONBLOCKING",
@@ -54,6 +65,7 @@ __all__ = [
     "VPhiRequest",
     "VPhiResponse",
     "WaitMode",
+    "WindowRecord",
     "WorkerPool",
     "chunk_plan",
     "default_nonblocking_ops",

@@ -38,6 +38,7 @@ from ..analysis.calibration import VPHI_COSTS, VPhiCosts
 from ..faults import ENODEV, NO_FAULTS, FaultInjector, FaultKind, FaultSite, Injection
 from ..scif import Endpoint, NativeScif, Prot, RmaFlag, ScifError
 from ..scif.endpoint import EpState
+from ..scif.errors import EBADF, ECONNREFUSED, ENXIO, ESHUTDOWN
 from ..sim import Event, Tracer
 from ..virtio import VirtioDevice, VirtqueueElement
 from .config import VPhiConfig
@@ -88,6 +89,14 @@ class VPhiBackend:
         #: per-handle re-open gates: one driver-death outage triggers one
         #: re-open even when several pooled workers hit ENODEV at once.
         self._reopening: dict[int, Event] = {}
+        #: the frontend session manager's invalidation callback (the
+        #: virtio config-change analog), wired by setup.  Called with a
+        #: cause string whenever a card reset / backend restart destroys
+        #: every host endpoint this backend held.
+        self.session_listener = None
+        #: metrics
+        self.card_resets = 0
+        self.backend_restarts = 0
         #: the worker pool (None in the paper's blocking dispatch mode).
         self.pool: Optional[WorkerPool] = None
         if self.config.pooled:
@@ -106,7 +115,7 @@ class VPhiBackend:
         try:
             return self.endpoints[handle]
         except KeyError:
-            raise ScifError(f"vphi backend: unknown endpoint handle {handle}") from None
+            raise EBADF(f"vphi backend: unknown endpoint handle {handle}") from None
 
     def new_handle(self, ep: Endpoint) -> int:
         """Intern a freshly opened/accepted endpoint, returning its handle."""
@@ -191,7 +200,7 @@ class VPhiBackend:
         self.tracer.emit("vphi.timeline", "backend mapped buffers, dispatching",
                          tag=req.tag, op=spec.op_name, phase=spec.phase,
                          vm=self.vm.name)
-        resp = VPhiResponse(tag=req.tag)
+        resp = VPhiResponse(tag=req.tag, epoch=req.epoch, op=req.op)
         try:
             # ring corruption is discovered while walking the popped
             # descriptor chain, before any host syscall is issued.
@@ -275,16 +284,35 @@ class VPhiBackend:
                                  "worker respawned, orphan request aborted",
                                  tag=req.tag, op=spec.op_name, vm=self.vm.name)
         elif inj.kind == FaultKind.CARD_RESET:
-            # mid-RMA card reset: the card is unreachable for the reset
-            # window, then every in-flight transfer aborts with ENXIO.
+            # a card reset is machine-wide: every VM sharing the card
+            # loses its host-side endpoints, and every in-flight pooled
+            # request anywhere is aborted with ENXIO (descriptors freed).
+            # The broadcast runs *before* the outage so each session is
+            # fenced the instant the card goes away, not after it is
+            # already back.
+            for be in (self.faults.backends or [self]):
+                be.on_card_reset(
+                    inj, origin_worker=worker if be is self else None
+                )
             yield self.sim.timeout(inj.spec.outage)
             self.tracer.emit("vphi.timeline",
                              "card reset completed, in-flight RMA aborted",
                              tag=req.tag, op=spec.op_name, vm=self.vm.name)
+        elif inj.kind == FaultKind.BACKEND_RESTART:
+            # only *this* VM's QEMU process restarts: its host endpoints
+            # die with ESHUTDOWN, its pool aborts, its session rebuilds —
+            # other VMs sharing the card are untouched.
+            self.on_backend_restart(inj, origin_worker=worker)
+            yield self.sim.timeout(inj.spec.outage)
+            self.tracer.emit("vphi.timeline",
+                             "backend restarted, host endpoints lost",
+                             tag=req.tag, op=spec.op_name, vm=self.vm.name)
         err = inj.make_error()
-        if isinstance(err, ENODEV):
+        if isinstance(err, ENODEV) and spec.wants_endpoint:
             # the host driver dropped our descriptor: re-open it so the
             # guest-visible handle works again when the frontend retries.
+            # Endpoint-less ops (open/get_node_ids/sysfs) have no
+            # descriptor to restore — handle 0 is not a real handle.
             yield from self.reopen_endpoint(req.handle)
         raise err
 
@@ -303,7 +331,18 @@ class VPhiBackend:
         it — one outage, one re-open, one fresh descriptor.
         """
         if handle not in self.endpoints:
-            return
+            # a re-open for a handle the table does not hold is a bogus
+            # recovery (stale handle, double-reopen after a reset
+            # cleared the table): surface it instead of swallowing it —
+            # a silently "recovered" dead handle would fail much later,
+            # far from the cause.
+            self.tracer.emit("vphi.timeline",
+                             "re-open of unknown endpoint handle rejected",
+                             handle=handle, vm=self.vm.name)
+            self.tracer.count("vphi.backend.bogus_reopens")
+            raise EBADF(
+                f"vphi backend: re-open of unknown endpoint handle {handle}"
+            )
         pending = self._reopening.get(handle)
         if pending is not None:
             # another worker is already re-opening this handle; wait for
@@ -363,6 +402,108 @@ class VPhiBackend:
         old.peer_closed = True
         old.state = EpState.CLOSED
         self.endpoints[handle] = new
+
+    # ------------------------------------------------------------------
+    # machine-wide card reset / per-VM backend restart
+    # ------------------------------------------------------------------
+    def on_card_reset(self, inj: Injection,
+                      origin_worker: Optional[int] = None) -> None:
+        """The card reset underneath this backend: all host state is gone.
+
+        Synchronous (no sim time passes): the endpoint table is severed
+        and cleared, every in-flight pooled request is aborted with
+        ENXIO — each completed on the ring so its descriptors are freed
+        — and the frontend's session manager is notified so it can fence
+        the epoch before anything else is serviced.  ``origin_worker``
+        is the pool member already raising the injected error for the
+        triggering request (interrupting it too would double-complete).
+        """
+        self.card_resets += 1
+        self.tracer.count("vphi.backend.card_resets")
+        self._invalidate(inj, "card_reset",
+                         lambda: ENXIO(
+                             f"card reset aborted in-flight request "
+                             f"(injected at {inj.time:g}s)"),
+                         origin_worker)
+
+    def on_backend_restart(self, inj: Injection,
+                           origin_worker: Optional[int] = None) -> None:
+        """This VM's QEMU process restarted: its host endpoints are gone."""
+        self.backend_restarts += 1
+        self.tracer.count("vphi.backend.restarts")
+        self._invalidate(inj, "backend_restart",
+                         lambda: ESHUTDOWN(
+                             f"backend restart aborted in-flight request "
+                             f"(injected at {inj.time:g}s)"),
+                         origin_worker)
+
+    def _invalidate(self, inj: Injection, cause: str, err_factory,
+                    origin_worker: Optional[int]) -> None:
+        for ep in list(self.endpoints.values()):
+            self._sever_endpoint(ep)
+        self.endpoints.clear()
+        self._reopening.clear()
+        if self.pool is not None:
+            self.pool.abort_inflight(err_factory, skip=origin_worker)
+        self.tracer.emit("vphi.timeline", "backend state invalidated",
+                         cause=cause, vm=self.vm.name)
+        if self.session_listener is not None:
+            self.session_listener(cause)
+
+    def _sever_endpoint(self, ep: Endpoint) -> None:
+        """Kill one host endpoint in place (the card-side state is gone).
+
+        Synchronous analog of :meth:`NativeScif.close` without syscall
+        cost — the reset, not a guest call, is destroying the state:
+        parked dialers are refused, the peer sees the connection die
+        immediately, the port and windows are released, and every parked
+        recv/poll/fence waiter wakes to find a dead socket.
+        """
+        if ep.state is EpState.CLOSED:
+            return
+        if ep.state is EpState.LISTENING and ep.backlog is not None:
+            while True:
+                ok, creq = ep.backlog.try_get()
+                if not ok:
+                    break
+                if not creq.reply.triggered:
+                    creq.reply.fail(
+                        ECONNREFUSED("listener lost to card reset")
+                    )
+            ep.backlog.close()
+        peer = ep.peer
+        if ep.state is EpState.CONNECTED and peer is not None:
+            peer.mark_peer_closed()
+        if ep.port is not None and ep.node.ports.get(ep.port) is ep:
+            ep.node.release_port(ep.port)
+        ep.windows.clear()
+        ep.peer_closed = True
+        ep.state = EpState.CLOSED
+        ep.recv_wait.wake_all()
+        ep.poll_wait.wake_all()
+        ep.fence_wait.wake_all()
+
+    def complete_with_error(self, elem: VirtqueueElement, err: ScifError) -> None:
+        """Complete one aborted request on the ring with ``err``.
+
+        Used by the pool's abort path for requests whose member was
+        interrupted (or whose chain was still queued) when the card
+        reset: the response echoes the request's tag/epoch/op so the
+        frontend can correlate — and, post-fence, drop — it, and pushing
+        it frees the chain's descriptors.
+        """
+        req: VPhiRequest = elem.header
+        spec = spec_for(req.op)
+        resp = VPhiResponse(tag=req.tag, error=err, epoch=req.epoch, op=req.op)
+        self.errors_returned += 1
+        self.requests_served += 1
+        self.tracer.count(spec.error_key)
+        self.tracer.count(spec.served_key)
+        self.tracer.emit("vphi.timeline", "in-flight request aborted",
+                         tag=req.tag, op=spec.op_name,
+                         error=type(err).__name__, vm=self.vm.name)
+        self.virtio.ring.push_used(elem, written=0, header=resp)
+        self.virtio.inject_irq()
 
     # ------------------------------------------------------------------
     # guest buffer access (zero copy: descriptors are guest-physical)

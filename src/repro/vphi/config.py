@@ -78,6 +78,30 @@ class VPhiConfig:
     #: completion retires (back-pressure toward the guest).  Ignored in
     #: blocking mode.
     max_inflight: int = 32
+    #: session-recovery policy after a card reset / backend restart:
+    #:
+    #: - ``"none"`` (default): no journal, no replay — the paper's
+    #:   behaviour; in-flight ops fail with ENXIO/ESHUTDOWN and the
+    #:   session stays broken.  Keeps Fig 4/5 baselines byte-identical.
+    #: - ``"queue"``: journal + replay; submits arriving during rebuild
+    #:   park until the session is active again.
+    #: - ``"fail_fast"``: journal + replay; submits during rebuild fail
+    #:   immediately with EStaleEpoch.
+    #: - ``"circuit_break"``: like ``queue``, but more than
+    #:   ``recovery_max_resets`` resets inside ``recovery_window``
+    #:   seconds trips the breaker: the session goes BROKEN and every
+    #:   submit fails with EStaleEpoch from then on.
+    recovery_policy: str = "none"
+    #: circuit-breaker threshold: resets tolerated per window.
+    recovery_max_resets: int = 3
+    #: circuit-breaker sliding window (simulated seconds).
+    recovery_window: float = 1.0
+    #: settle delay before replay starts (models reset-detection +
+    #: re-enumeration latency; also spaces replay retries while the
+    #: card-side peer re-establishes its listeners/windows).
+    recovery_settle: float = 1e-3
+
+    RECOVERY_POLICIES = ("none", "queue", "fail_fast", "circuit_break")
 
     def __post_init__(self) -> None:
         if self.wait_mode not in WaitMode.ALL:
@@ -98,11 +122,27 @@ class VPhiConfig:
             raise ValueError("backend_workers must be >= 0 (0 = blocking dispatch)")
         if self.max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
+        if self.recovery_policy not in self.RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery_policy {self.recovery_policy!r} "
+                f"(choose from {self.RECOVERY_POLICIES})"
+            )
+        if self.recovery_max_resets < 1:
+            raise ValueError("recovery_max_resets must be >= 1")
+        if self.recovery_window <= 0:
+            raise ValueError("recovery_window must be positive")
+        if self.recovery_settle < 0:
+            raise ValueError("recovery_settle must be >= 0")
 
     @property
     def pooled(self) -> bool:
         """Whether backend dispatch runs on the worker pool."""
         return self.backend_workers > 0
+
+    @property
+    def recovery_enabled(self) -> bool:
+        """Whether the session journal + replay orchestrator is active."""
+        return self.recovery_policy != "none"
 
     def is_blocking(self, op) -> bool:
         return op not in self.nonblocking_ops

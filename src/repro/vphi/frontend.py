@@ -39,13 +39,14 @@ import numpy as np
 
 from ..analysis.calibration import HOST, VPHI_COSTS, HostParams, VPhiCosts
 from ..faults import NO_FAULTS, FaultInjector, FaultSite, is_transient
-from ..scif.errors import ETIMEDOUT, ScifError
+from ..scif.errors import ETIMEDOUT, EStaleEpoch, ScifError
 from ..sim import SimError, Simulator, Tracer, WaitQueue
 from ..virtio import VirtioDevice
 from .chunking import BounceBuffers
 from .config import VPhiConfig
 from .ops import spec_for
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .session import ACTIVE, SessionManager
 from .wait import make_wait_scheme
 
 __all__ = ["BatchCall", "VPhiFrontend"]
@@ -66,9 +67,10 @@ class _Prepared:
     """A marshalled request whose bounce chunks are live in guest memory."""
 
     __slots__ = ("spec", "req", "hdr_ext", "out_bb", "in_bb",
-                 "out_descs", "in_descs")
+                 "out_descs", "in_descs", "orig_handle")
 
-    def __init__(self, spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs):
+    def __init__(self, spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
+                 orig_handle=0):
         self.spec = spec
         self.req = req
         self.hdr_ext = hdr_ext
@@ -76,6 +78,10 @@ class _Prepared:
         self.in_bb = in_bb
         self.out_descs = out_descs
         self.in_descs = in_descs
+        #: the guest-visible handle as submitted — the session manager
+        #: re-translates it to the current backend handle at every post,
+        #: so a retry spanning a recovery lands on the rebuilt endpoint.
+        self.orig_handle = orig_handle
 
     @property
     def needed_descriptors(self) -> int:
@@ -137,6 +143,12 @@ class VPhiFrontend:
         #: high-water mark of reaped tags — detects (and counts) pooled
         #: out-of-order completion without constraining it.
         self._max_completed_tag = 0
+        #: posted-but-unreaped requests by tag — the set a session fence
+        #: aborts with synthetic EStaleEpoch responses.
+        self._inflight: dict[int, _Prepared] = {}
+        #: session journal + recovery orchestrator (inert under the
+        #: default ``recovery_policy="none"``).
+        self.session = SessionManager(self)
         virtio.bind_guest_isr(self.irq_handler)
         vm.guest_kernel.vphi_frontend = self
         #: metrics
@@ -169,6 +181,18 @@ class VPhiFrontend:
             reaped = True
             _head, written, header = got
             resp: VPhiResponse = header
+            if resp.epoch < self.session.epoch:
+                # pre-fence completion straggling in after a card reset /
+                # backend restart: reaping already released its ring
+                # descriptors; the record itself must never reach a
+                # waiter (the fence handed them synthetic EStaleEpoch
+                # responses) or mutate rebuilt session state.
+                self._abandoned.discard(resp.tag)
+                self.session.stale_drops += 1
+                self.tracer.count("vphi.fault.stale_dropped")
+                if resp.op is not None:
+                    self.tracer.count(spec_for(resp.op).stale_key)
+                continue
             if resp.tag in self._abandoned:
                 # late completion of a timed-out request: reaping it has
                 # already released its ring descriptors; drop the record.
@@ -306,6 +330,7 @@ class VPhiFrontend:
                     out.append((None, None))
                     continue
                 result, in_data = yield from self._finish(p, resp)
+                self.session.record(p.spec, p.orig_handle, p.req.args, result)
                 out.append((result, in_data))
                 self.tracer.observe(p.spec.latency_key, self.sim.now - t0_batch)
             if first_error is not None:
@@ -325,16 +350,25 @@ class VPhiFrontend:
         args: Optional[dict] = None,
         out_data: Optional[np.ndarray] = None,
         in_nbytes: int = 0,
+        replay: bool = False,
     ):
-        """One ring submission (at most ring-size/2 data descriptors)."""
+        """One ring submission (at most ring-size/2 data descriptors).
+
+        ``replay`` marks a session-recovery replay: it bypasses the
+        degraded-mode submit gate (the recovery process is itself what
+        makes the session active again) and skips the journal hook (the
+        journal already holds the fact being replayed).
+        """
         t0_req = self.sim.now
         acc = self.tracer.accumulate
         p = yield from self._prepare(op, handle, args, out_data, in_nbytes)
         try:
-            yield from self._post_chain(p)
+            yield from self._post_chain(p, replay=replay)
             yield from self._kick([p])
-            resp = yield from self._complete(p)
+            resp = yield from self._complete(p, replay=replay)
             result, in_data = yield from self._finish(p, resp)
+            if not replay:
+                self.session.record(p.spec, p.orig_handle, p.req.args, result)
             # response demux + syscall return to user space
             yield self.sim.timeout(self.costs.guest_return)
             acc("vphi.phase.guest_return", self.costs.guest_return)
@@ -405,21 +439,38 @@ class VPhiFrontend:
             in_nbytes=in_nbytes,
             tag=next(self._tags),
         )
-        return _Prepared(spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs)
+        return _Prepared(spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
+                         orig_handle=handle)
 
-    def _post_chain(self, p: _Prepared):
+    def _post_chain(self, p: _Prepared, replay: bool = False):
         """Put one prepared chain on the ring, parking on exhaustion.
 
         Back-pressure: park until the ring has room for the chain (the
-        real driver sleeps on virtqueue_add failure too).
+        real driver sleeps on virtqueue_add failure too).  With session
+        recovery armed, every post (first or retry) is stamped with the
+        *current* epoch and handle translation at the instant it lands
+        on the ring — a retry spanning a recovery must not post the dead
+        epoch or a pre-reset backend handle — and posts arriving while
+        the session rebuilds go through the degraded-mode gate (replay
+        posts are exempt: recovery is what unblocks the gate).
         """
         if p.needed_descriptors > self.virtio.ring.size:
             raise SimError(
                 f"{self.vm.name}: chain of {p.needed_descriptors} descriptors "
                 f"can never fit a ring of {self.virtio.ring.size}"
             )
-        while self.virtio.ring.num_free < p.needed_descriptors:
+        ses = self.session
+        while True:
+            if ses.enabled and not replay and ses.state != ACTIVE:
+                yield from ses.gate()
+            if self.virtio.ring.num_free >= p.needed_descriptors:
+                break
             yield self.ring_space.wait()
+        if ses.enabled:
+            p.req.epoch = ses.epoch
+            if p.spec.wants_endpoint:
+                p.req.handle = ses.translate(p.orig_handle)
+        self._inflight[p.req.tag] = p
         self.virtio.ring.add_chain(out=p.out_descs, inb=p.in_descs, header=p.req)
         self.tracer.count(p.spec.counter_key)
         self.tracer.emit("vphi.timeline", "request posted to ring",
@@ -454,7 +505,7 @@ class VPhiFrontend:
                              tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
         return resp
 
-    def _complete(self, p: _Prepared):
+    def _complete(self, p: _Prepared, replay: bool = False):
         """Reap ``p``'s response, recovering from transient faults.
 
         The watchdog deadline comes from the op's blocking class via
@@ -464,6 +515,14 @@ class VPhiFrontend:
         card reset, or watchdog expiry — *idempotent* ops re-post the
         same bounce chunks under a fresh tag after bounded exponential
         backoff; non-idempotent ops fail fast with the typed error.
+
+        An :class:`EStaleEpoch` abort (the session fenced this tag) is
+        session-level, not request-level: under the queue/circuit-break
+        policies an idempotent op parks until the journal replay
+        finishes, then re-posts at the new epoch without consuming its
+        transient-retry budget.  During replay (``replay=True``) the
+        stale error propagates instead — a fresh fence must restart the
+        replay round, not deadlock it against the recovery process.
         """
         spec, cfg = p.spec, self.config
         attempt = 0
@@ -471,6 +530,7 @@ class VPhiFrontend:
             timeout = cfg.timeout_for(spec)
             deadline = None if timeout is None else self.sim.now + timeout
             resp = yield from self._reap(p, deadline)
+            self._inflight.pop(p.req.tag, None)
             if resp is None:
                 # watchdog expiry: abandon the tag so the late response
                 # (if the backend ever completes it) is dropped on drain.
@@ -490,6 +550,27 @@ class VPhiFrontend:
                     self.tracer.emit("vphi.timeline", "request recovered after retry",
                                      tag=p.req.tag, op=spec.op_name, attempts=attempt)
                 return resp
+            if isinstance(err, EStaleEpoch):
+                ses = self.session
+                if (not replay and ses.enabled and spec.idempotent
+                        and cfg.recovery_policy in ("queue", "circuit_break")):
+                    attempt += 1
+                    self.retries += 1
+                    self.tracer.count(spec.retried_key)
+                    self.tracer.count("vphi.fault.retried")
+                    self.tracer.emit("vphi.timeline",
+                                     "stale epoch, awaiting session rebuild",
+                                     tag=p.req.tag, op=spec.op_name,
+                                     epoch=ses.epoch)
+                    yield from ses.await_active()  # raises if circuit opens
+                    p.renew_tag(next(self._tags))
+                    yield from self._post_chain(p, replay=replay)
+                    yield from self._kick([p])
+                    continue
+                if not replay:
+                    self.tracer.count(spec.failed_key)
+                    self.tracer.count("vphi.fault.failed")
+                raise err
             if not (spec.idempotent and is_transient(err)
                     and attempt < cfg.max_retries):
                 if is_transient(err):
@@ -506,7 +587,7 @@ class VPhiFrontend:
                              error=type(err).__name__)
             yield self.sim.timeout(cfg.backoff_for(attempt))
             p.renew_tag(next(self._tags))
-            yield from self._post_chain(p)
+            yield from self._post_chain(p, replay=replay)
             yield from self._kick([p])
 
     def _finish(self, p: _Prepared, resp: VPhiResponse):

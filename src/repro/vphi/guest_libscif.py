@@ -25,7 +25,9 @@ import numpy as np
 from ..kvm.fault import PfnPhiInfo
 from ..mem import PAGE_SIZE, PinnedPages, VMA, VMAFlag, is_page_aligned
 from ..oscore import OSProcess
-from ..scif import EINVAL, MapFlag, PollEvent, Prot, RecvFlag, RmaFlag, SendFlag
+from ..scif import (
+    EINVAL, ENOTCONN, MapFlag, PollEvent, Prot, RecvFlag, RmaFlag, SendFlag,
+)
 from ..scif.api import DataLike, as_bytes_array
 from .frontend import VPhiFrontend
 from .ops import spec_for
@@ -85,6 +87,13 @@ class GuestScif:
             segment_args=segment_args,
         )
         return result, data
+
+    def _ensure_connected(self, ep: GuestEndpoint) -> None:
+        """Native libscif rejects ENOTCONN *before* validating arguments;
+        the shim must check in the same order or a caller could tell the
+        stacks apart by which errno a doubly-bad call returns."""
+        if ep.peer_addr is None:
+            raise ENOTCONN(f"endpoint h={ep.handle} is not connected")
 
     # ------------------------------------------------------------------
     # endpoint lifecycle
@@ -158,6 +167,7 @@ class GuestScif:
         """Pin guest user pages, hand their (guest-physical == host-
         physical) scatter list to the backend (§III, *Guest memory
         registration*)."""
+        self._ensure_connected(ep)
         if not is_page_aligned(vaddr) or nbytes <= 0 or nbytes % PAGE_SIZE:
             raise EINVAL("scif_register requires page-aligned addr and length")
         if not (flags & MapFlag.SCIF_MAP_FIXED):
@@ -203,6 +213,7 @@ class GuestScif:
                   flags: RmaFlag = RmaFlag.NONE):
         """Remote window -> guest user buffer, bounced through kmalloc
         chunks (§III *Implementation details*: the receive/read case)."""
+        self._ensure_connected(ep)
         if nbytes <= 0:
             raise EINVAL("RMA length must be positive")
         n, data = yield from self._forward(
@@ -217,6 +228,7 @@ class GuestScif:
     def vwriteto(self, ep: GuestEndpoint, vaddr: int, nbytes: int, roffset: int,
                  flags: RmaFlag = RmaFlag.NONE):
         """Guest user buffer -> remote window (the send/write case)."""
+        self._ensure_connected(ep)
         if nbytes <= 0:
             raise EINVAL("RMA length must be positive")
         payload = self.process.address_space.read(vaddr, nbytes)
@@ -233,6 +245,7 @@ class GuestScif:
     # ------------------------------------------------------------------
     def mmap(self, ep: GuestEndpoint, roffset: int, nbytes: int,
              prot: Prot = Prot.SCIF_PROT_READ | Prot.SCIF_PROT_WRITE) -> VMA:
+        self._ensure_connected(ep)
         if nbytes <= 0 or nbytes % PAGE_SIZE or roffset % PAGE_SIZE:
             raise EINVAL("scif_mmap requires page-aligned offset and length")
         info, _ = yield from self._forward(
@@ -253,10 +266,15 @@ class GuestScif:
             name=f"vphi-mmap@{roffset:#x}",
         )
         vma.private = info
+        # the session journal remembers this mapping so a card reset can
+        # re-establish it: replay swaps vma.private for the fresh PFN info
+        # and zaps the stale EPT entries (faults then resolve anew).
+        self.frontend.session.attach_vma(ep.handle, roffset, vma, space)
         return vma
 
     def munmap(self, vma: VMA):
         yield self.sim.timeout(0)
+        self.frontend.session.detach_vma(vma)
         self.process.address_space.munmap(vma)
         return 0
 

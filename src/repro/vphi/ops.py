@@ -111,6 +111,17 @@ class OpSpec:
     #: whether the backend's worker pool may service this op.  ``None``
     #: (the default) derives from the blocking class — see :attr:`rides_pool`.
     pool_eligible: Optional[bool] = None
+    #: the op mutates session topology the recovery orchestrator must
+    #: rebuild after a card reset (endpoint lifecycle, window
+    #: registration, mmap).  Purely informational for data ops.
+    replayable: bool = False
+    #: journal hook ``(journal, handle, args, result)`` invoked by the
+    #: frontend after the op *succeeds*; ``handle`` is the original
+    #: guest-visible handle (pre-translation), ``args`` the marshalled
+    #: wire arguments and ``result`` the op result.  The hook records
+    #: the minimal replayable state on the session journal (duck-typed
+    #: ``note_*`` methods — no import cycle with the session module).
+    journal: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # derived trace keys: the single source the frontend, backend and
@@ -179,6 +190,12 @@ class OpSpec:
         """Backend: requests serviced by the worker pool."""
         return f"vphi.op.{self.op_name}.pooled"
 
+    @property
+    def stale_key(self) -> str:
+        """Frontend: completions dropped because their epoch predated a
+        session fence (card reset / backend restart)."""
+        return f"vphi.op.{self.op_name}.stale_dropped"
+
     # ------------------------------------------------------------------
     def marshal(self, call_args: dict) -> dict:
         """Build the request's scalar-argument dict from a guest call.
@@ -227,6 +244,8 @@ def register(
     pre_cost: Optional[Callable] = None,
     post_cost: Optional[Callable] = None,
     pool_eligible: Optional[bool] = None,
+    replayable: bool = False,
+    journal: Optional[Callable] = None,
 ) -> Callable:
     """Decorator: register ``op``'s backend handler plus its declaration.
 
@@ -253,6 +272,8 @@ def register(
             pre_cost=pre_cost,
             post_cost=post_cost,
             pool_eligible=pool_eligible,
+            replayable=replayable,
+            journal=journal,
         )
         return handler
 
@@ -303,15 +324,58 @@ def _rma_post_cost(backend, req) -> float:
 
 
 # ======================================================================
+# session-journal hooks: called by the frontend after the op succeeds,
+# with the *original* guest-visible handle (never a translated one) —
+# the journal is the minimal replayable state the recovery orchestrator
+# re-drives through the normal op path after a card reset.  Duck-typed
+# against SessionJournal's note_* methods so ops.py never imports the
+# session module (no cycle).
+# ======================================================================
+def _journal_open(journal, handle, args, result):
+    journal.note_open(result)
+
+
+def _journal_close(journal, handle, args, result):
+    journal.note_close(handle)
+
+
+def _journal_bind(journal, handle, args, result):
+    journal.note_bind(handle, result)  # result = the actual bound port
+
+
+def _journal_listen(journal, handle, args, result):
+    journal.note_listen(handle, args["backlog"])
+
+
+def _journal_connect(journal, handle, args, result):
+    journal.note_connect(handle, tuple(args["addr"]))
+
+
+def _journal_register(journal, handle, args, result):
+    journal.note_register(
+        handle, args["sg"], args["nbytes"], result, args["prot"]
+    )  # result = the actual registered offset
+
+
+def _journal_unregister(journal, handle, args, result):
+    journal.note_unregister(handle, args["offset"])
+
+
+def _journal_mmap(journal, handle, args, result):
+    journal.note_mmap(handle, args["roffset"], args["nbytes"], args["prot"])
+
+
+# ======================================================================
 # the built-in SCIF operation set (§III, Fig 3): every op exactly once.
 # ======================================================================
-@register(VPhiOp.OPEN, wants_endpoint=False, idempotent=True)
+@register(VPhiOp.OPEN, wants_endpoint=False, idempotent=True,
+          replayable=True, journal=_journal_open)
 def _open(backend, req, elem, a):
     ep = yield from backend.lib.open()
     return backend.new_handle(ep), 0
 
 
-@register(VPhiOp.CLOSE)
+@register(VPhiOp.CLOSE, replayable=True, journal=_journal_close)
 def _close(backend, req, elem, a):
     ep = backend.endpoint(req.handle)
     yield from backend.lib.close(ep)
@@ -319,20 +383,22 @@ def _close(backend, req, elem, a):
     return 0, 0
 
 
-@register(VPhiOp.BIND, args=(ArgSpec("port", default=0, convert=int),))
+@register(VPhiOp.BIND, args=(ArgSpec("port", default=0, convert=int),),
+          replayable=True, journal=_journal_bind)
 def _bind(backend, req, elem, a):
     port = yield from backend.lib.bind(backend.endpoint(req.handle), a["port"])
     return port, 0
 
 
 @register(VPhiOp.LISTEN, args=(ArgSpec("backlog", default=16, convert=int),),
-          idempotent=True)
+          idempotent=True, replayable=True, journal=_journal_listen)
 def _listen(backend, req, elem, a):
     yield from backend.lib.listen(backend.endpoint(req.handle), a["backlog"])
     return 0, 0
 
 
-@register(VPhiOp.CONNECT, args=(ArgSpec("addr", convert=tuple),))
+@register(VPhiOp.CONNECT, args=(ArgSpec("addr", convert=tuple),),
+          replayable=True, journal=_journal_connect)
 def _connect(backend, req, elem, a):
     port = yield from backend.lib.connect(
         backend.endpoint(req.handle), tuple(a["addr"])
@@ -393,6 +459,8 @@ def _recv(backend, req, elem, a):
         ArgSpec("offset", default=None),
         ArgSpec("prot", default=3, convert=int),
     ),
+    replayable=True,
+    journal=_journal_register,
 )
 def _register_window(backend, req, elem, a):
     from ..scif import Prot
@@ -409,7 +477,8 @@ def _register_window(backend, req, elem, a):
     return offset, 0
 
 
-@register(VPhiOp.UNREGISTER, args=(ArgSpec("offset", convert=int),))
+@register(VPhiOp.UNREGISTER, args=(ArgSpec("offset", convert=int),),
+          replayable=True, journal=_journal_unregister)
 def _unregister_window(backend, req, elem, a):
     yield from backend.lib.unregister(backend.endpoint(req.handle), a["offset"])
     return 0, 0
@@ -466,6 +535,8 @@ def _vwriteto(backend, req, elem, a):
         ArgSpec("prot", default=3, convert=int),
     ),
     idempotent=True,
+    replayable=True,
+    journal=_journal_mmap,
 )
 def _mmap(backend, req, elem, a):
     from ..kvm.fault import PfnPhiInfo

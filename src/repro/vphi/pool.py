@@ -35,7 +35,9 @@ from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
-from ..sim import Channel, ChannelClosed, Event, Simulator
+from ..scif import ScifError
+from ..scif.errors import ECONNRESET
+from ..sim import Channel, ChannelClosed, Event, Interrupted, Simulator
 from .ops import OpSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -106,6 +108,20 @@ class CardArbiter:
                 self._grant(v, ev)
                 return
 
+    def cancel(self, vm: str, ev: Event) -> None:
+        """Abandon one pending acquire (its waiter was interrupted).
+
+        An ungranted request is pulled off ``vm``'s queue; a granted but
+        never-consumed credit is returned — otherwise the interrupted
+        waiter would strand a slot and shrink the arbiter forever.
+        """
+        queue = self._queues.get(vm)
+        if queue is not None and ev in queue:
+            queue.remove(ev)
+            return
+        if ev.triggered:
+            self.release(vm)
+
     def _grant(self, vm: str, ev: Event) -> None:
         self.grants += 1
         self.grants_by_vm[vm] = self.grants_by_vm.get(vm, 0) + 1
@@ -151,6 +167,10 @@ class WorkerPool:
         self.completed = 0
         self.deaths = 0
         self.respawns = 0
+        self.aborted = 0
+        #: the element each member is currently servicing (None = idle);
+        #: the machine-wide abort path interrupts exactly these.
+        self._current: list = [None] * size
         self.busy_time = 0.0
         self.credit_wait = 0.0
         #: ``(handle, submit_seq)`` per retired endpoint op, in completion
@@ -180,7 +200,14 @@ class WorkerPool:
         )
 
     def _member(self, idx: int):
-        """One persistent worker: credit -> service -> retire, forever."""
+        """One persistent worker: credit -> service -> retire, forever.
+
+        A member can be :meth:`~repro.sim.Process.interrupt`-ed while
+        servicing (card reset / backend restart aborting the machine's
+        in-flight work); the request it held completes with the abort
+        error and the member survives to take the next chain.
+        """
+        vm = self.backend.vm.name
         while True:
             try:
                 elem, spec, seq = yield self._chans[idx].get()
@@ -189,21 +216,66 @@ class WorkerPool:
             # completing the request overwrites elem.header with the
             # response record; remember the handle for the audit trail.
             handle = elem.header.handle
-            t0 = self.sim.now
-            yield self.arbiter.acquire(self.backend.vm.name)
-            self.credit_wait += self.sim.now - t0
-            t1 = self.sim.now
+            self._current[idx] = elem
             try:
-                yield from self.backend._service(elem, worker=idx)
+                t0 = self.sim.now
+                credit = self.arbiter.acquire(vm)
+                try:
+                    yield credit
+                except Interrupted:
+                    self.arbiter.cancel(vm, credit)
+                    raise
+                self.credit_wait += self.sim.now - t0
+                t1 = self.sim.now
+                try:
+                    yield from self.backend._service(elem, worker=idx)
+                finally:
+                    self.busy_time += self.sim.now - t1
+                    self.arbiter.release(vm)
+            except Interrupted as stop:
+                err = (
+                    stop.cause
+                    if isinstance(stop.cause, ScifError)
+                    else ECONNRESET("pool member interrupted mid-request")
+                )
+                self.aborted += 1
+                self.backend.complete_with_error(elem, err)
             finally:
-                self.arbiter.release(self.backend.vm.name)
-                self.busy_time += self.sim.now - t1
+                self._current[idx] = None
                 self.inflight -= 1
                 self.completed += 1
                 if spec.wants_endpoint:
                     self.completion_log.append((handle, seq))
                 # retiring may unblock chains parked behind max_inflight
                 self.backend.request_retired()
+
+    def abort_inflight(self, err_factory, skip: Optional[int] = None) -> None:
+        """Abort every popped-but-incomplete request in the pool.
+
+        Queued chains are drained and completed with ``err_factory()``
+        directly; members busy servicing a request are interrupted so
+        the aborted host syscall unwinds at its next yield point.  The
+        worker whose fault injection triggered the abort passes its own
+        index as ``skip`` — its request errors through the normal
+        dispatch-fault path instead.
+        """
+        for chan in self._chans:
+            while True:
+                ok, item = chan.try_get()
+                if not ok:
+                    break
+                elem, spec, seq = item
+                handle = elem.header.handle
+                self.aborted += 1
+                self.backend.complete_with_error(elem, err_factory())
+                self.inflight -= 1
+                self.completed += 1
+                if spec.wants_endpoint:
+                    self.completion_log.append((handle, seq))
+                self.backend.request_retired()
+        for i, proc in enumerate(self._members):
+            if i != skip and self._current[i] is not None:
+                proc.interrupt(err_factory())
 
     # ------------------------------------------------------------------
     def note_death(self, idx: int) -> None:

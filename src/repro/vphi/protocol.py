@@ -58,6 +58,12 @@ class VPhiRequest:
     #: counter per VM) so tags are deterministic per run and never leak
     #: across Simulator instances or test orderings.
     tag: int = 0
+    #: session epoch the request was posted in.  Bumped by the frontend's
+    #: session manager on every card reset / backend restart; completions
+    #: carrying an older epoch are dropped at drain instead of being
+    #: allowed to mutate rebuilt session state.  0 = the initial epoch
+    #: (fault-free runs never see anything else).
+    epoch: int = 0
 
 
 @dataclass
@@ -70,3 +76,8 @@ class VPhiResponse:
     error: Optional[Exception] = None
     #: bytes the backend wrote into the in chunks.
     written: int = 0
+    #: echo of the request's session epoch (stale-completion fencing).
+    epoch: int = 0
+    #: echo of the request's op (lets the frontend attribute dropped
+    #: stale completions to the right per-op counter).
+    op: Optional[VPhiOp] = None

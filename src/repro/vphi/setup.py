@@ -88,6 +88,14 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstan
         vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer,
         faults=faults, arbiter=arbiter,
     )
+    # a machine-owned injector learns every backend sharing the card so a
+    # CARD_RESET broadcast reaches all of them (the shared NO_FAULTS
+    # sentinel must never accumulate backends across machines)
+    if faults is not None:
+        faults.attach_backend(backend)
+    # card resets / backend restarts invalidate host-side state; the
+    # frontend's session manager hears about it through this hook
+    backend.session_listener = frontend.session.on_backend_invalidated
     # replicate the host's mic sysfs inside the guest (live passthrough)
     for path, _ in machine.kernel.sysfs.walk():
         vm.guest_kernel.sysfs.publish(

@@ -15,6 +15,7 @@ import pytest
 from repro import FaultKind, FaultPlan, FaultSpec, Machine
 from repro.faults import ENODEV
 from repro.scif.endpoint import EpState
+from repro.scif.errors import EBADF
 from repro.sim import SimError, Simulator
 from repro.vphi import CardArbiter, VPhiConfig, registered_ops, temporary_op
 from repro.vphi.ops import NONBLOCKING
@@ -362,10 +363,17 @@ class TestEndpointReopen:
         assert backend.endpoints[handle] is not before
         assert not backend._reopening  # the gate was torn down
 
-    def test_reopen_of_unknown_handle_is_a_noop(self):
+    def test_reopen_of_unknown_handle_raises_typed_error(self):
+        # a silent no-op here let a corrupted handle table go unnoticed;
+        # the backend now rejects the re-open loudly with a typed error.
         m = Machine(cards=1).boot()
         vm = pooled_vm(m)
-        p = m.sim.spawn(vm.vphi.backend.reopen_endpoint(12345))
+
+        def driver():
+            with pytest.raises(EBADF):
+                yield from vm.vphi.backend.reopen_endpoint(12345)
+
+        m.sim.spawn(driver())
         m.run()
-        assert p.triggered
         assert vm.vphi.backend.endpoint_reopens == 0
+        assert vm.tracer.counters["vphi.backend.bogus_reopens"] == 1

@@ -1,0 +1,262 @@
+"""Errno conformance: every typed ScifError maps to the right errno.
+
+Satellite of the session-recovery PR: the guest libscif error paths must
+be indistinguishable from native ones — same typed exception class, same
+C-API errno — in all three dispatch modes (native, blocking, pooled).
+The table test pins the class -> errno mapping exhaustively (a new error
+class without a declared expectation fails here), and the differential
+scenarios drive real error paths end-to-end, including the two errnos
+introduced by session recovery: ESHUTDOWN (backend restart) and
+EStaleEpoch -> ESTALE (epoch fence), which exist only on the
+virtualized paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaultKind, FaultPlan, FaultSpec, Machine
+from repro.mem import PAGE_SIZE
+from repro.scif import ScifError
+from repro.scif import errors as errors_mod
+from repro.scif.errors import EStaleEpoch
+from repro.vphi import VPhiConfig
+
+PORT = 9500
+KB = 1 << 10
+WIN = 64 * KB
+
+#: the complete, intentional class -> errno table.  A new ScifError
+#: subclass must be added here (the completeness test enforces it), so
+#: an errno can never change or appear by accident.
+EXPECTED_ERRNOS = {
+    "ScifError": "EIO",
+    "EINVAL": "EINVAL",
+    "EADDRINUSE": "EADDRINUSE",
+    "ECONNREFUSED": "ECONNREFUSED",
+    "ECONNRESET": "ECONNRESET",
+    "ENOTCONN": "ENOTCONN",
+    "EISCONN": "EISCONN",
+    "EAGAIN": "EAGAIN",
+    "ENXIO": "ENXIO",
+    "ENOMEM": "ENOMEM",
+    "EACCES": "EACCES",
+    "ETIMEDOUT": "ETIMEDOUT",
+    "EBADF": "EBADF",
+    "ESHUTDOWN": "ESHUTDOWN",
+    "EStaleEpoch": "ESTALE",  # virtualization-layer only
+    # repro.faults adds one more host-side class:
+    "ENODEV": "ENODEV",
+}
+
+
+def all_error_classes():
+    """Every ScifError class the codebase defines, discovered not listed."""
+    from repro.faults import ENODEV
+
+    out = {ScifError, ENODEV}
+    out.update(
+        obj for obj in vars(errors_mod).values()
+        if isinstance(obj, type) and issubclass(obj, ScifError)
+    )
+    return sorted(out, key=lambda c: c.__name__)
+
+
+@pytest.mark.parametrize("cls", all_error_classes(),
+                         ids=lambda c: c.__name__)
+def test_every_error_class_has_the_declared_errno(cls):
+    assert cls.__name__ in EXPECTED_ERRNOS, (
+        f"{cls.__name__} has no declared errno expectation; add it to "
+        f"EXPECTED_ERRNOS with the intended C-API code"
+    )
+    assert cls.errno_name == EXPECTED_ERRNOS[cls.__name__]
+
+
+def test_no_expectation_is_stale():
+    names = {c.__name__ for c in all_error_classes()}
+    assert set(EXPECTED_ERRNOS) == names
+
+
+# ----------------------------------------------------------------------
+# differential error paths: native vs blocking vs pooled
+# ----------------------------------------------------------------------
+
+MODES = {
+    "native": None,
+    "blocking": VPhiConfig(),
+    "pooled": VPhiConfig(backend_workers=4),
+}
+
+
+def make_side(mode):
+    """(machine, process, lib) for one fresh stack under test."""
+    machine = Machine(cards=1).boot()
+    config = MODES[mode]
+    if config is None:
+        proc = machine.host_process("errno-client")
+        return machine, proc, machine.scif(proc), None
+    vm = machine.create_vm("vm0", ram_bytes=2 << 30, vphi_config=config)
+    proc = vm.guest_process("errno-client")
+    return machine, proc, vm.vphi.libscif(proc), vm
+
+
+def error_path_walk(machine, proc, lib):
+    """Drive guest-visible error paths; observables are (class, errno)."""
+    card = machine.card_node_id(0)
+    obs = []
+
+    def note(label, exc):
+        obs.append((label, type(exc).__name__, exc.errno_name))
+
+    # 1) connect with nobody listening -> ECONNREFUSED
+    ep = yield from lib.open()
+    try:
+        yield from lib.connect(ep, (card, PORT + 9))
+    except ScifError as e:
+        note("refused", e)
+    # 2) double-bind the same port -> EADDRINUSE
+    a = yield from lib.open()
+    b = yield from lib.open()
+    yield from lib.bind(a, PORT)
+    try:
+        yield from lib.bind(b, PORT)
+    except ScifError as e:
+        note("in-use", e)
+    # 3) misaligned registration -> EINVAL (guest-side check)
+    vma = proc.address_space.mmap(WIN, populate=True)
+    try:
+        yield from lib.register(a, vma.start + 1, WIN)
+    except ScifError as e:
+        note("misaligned", e)
+    # 4) RMA on an endpoint with no registered window -> EINVAL
+    conn = yield from lib.open()
+    srv = machine.scif(machine.card_process("srv-errno"))
+    listening = machine.sim.event()
+
+    def server():
+        sep = yield from srv.open()
+        yield from srv.bind(sep, PORT + 1)
+        yield from srv.listen(sep)
+        listening.succeed()
+        yield from srv.accept(sep)
+
+    machine.sim.spawn(server())
+    yield listening
+    yield from lib.connect(conn, (card, PORT + 1))
+    try:
+        yield from lib.readfrom(conn, 0, PAGE_SIZE, 0)
+    except ScifError as e:
+        note("no-window", e)
+    # 5) zero-length virtual RMA -> EINVAL (shim-side check)
+    try:
+        yield from lib.vwriteto(conn, vma.start, 0, 0)
+    except ScifError as e:
+        note("zero-rma", e)
+    return tuple(obs)
+
+
+@pytest.mark.parametrize("mode", ["blocking", "pooled"])
+def test_error_paths_match_native(mode):
+    runs = {}
+    for m in ("native", mode):
+        machine, proc, lib, vm = make_side(m)
+        if vm is None:
+            driver = machine.sim.spawn(error_path_walk(machine, proc, lib))
+        else:
+            driver = vm.spawn_guest(error_path_walk(machine, proc, lib))
+        machine.run()
+        runs[m] = driver.value
+    assert runs[mode] == runs["native"]
+    assert len(runs["native"]) == 5  # every path actually raised
+
+
+# ----------------------------------------------------------------------
+# the recovery-introduced errnos (virtualized paths only)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["blocking", "pooled"])
+def test_backend_restart_surfaces_eshutdown(mode):
+    """With recovery off and no retries, an injected backend restart
+    surfaces as a typed ESHUTDOWN, same class and errno in both modes."""
+    plan = FaultPlan.of(FaultSpec(
+        kind=FaultKind.BACKEND_RESTART, op="send", vm="vm0", at=(0,),
+    ))
+    machine = Machine(cards=1, fault_plan=plan).boot()
+    base = MODES[mode]
+    vm = machine.create_vm(
+        "vm0", ram_bytes=2 << 30,
+        vphi_config=VPhiConfig(
+            backend_workers=base.backend_workers, max_retries=0,
+        ),
+    )
+    card = machine.card_node_id(0)
+    srv = machine.scif(machine.card_process("srv"))
+
+    def server():
+        sep = yield from srv.open()
+        yield from srv.bind(sep, PORT)
+        yield from srv.listen(sep)
+        conn, _ = yield from srv.accept(sep)
+        try:
+            yield from srv.recv(conn, 4)
+        except ScifError:
+            pass  # the restart severs the connection under the server
+
+    machine.sim.spawn(server())
+    lib = vm.vphi.libscif(vm.guest_process("app"))
+
+    def client():
+        ep = yield from lib.open()
+        yield from lib.connect(ep, (card, PORT))
+        try:
+            yield from lib.send(ep, b"ping")
+        except ScifError as e:
+            return type(e).__name__, e.errno_name
+        return None
+
+    c = vm.spawn_guest(client())
+    machine.run()
+    assert c.value == ("ESHUTDOWN", "ESHUTDOWN")
+
+
+@pytest.mark.parametrize("mode", ["blocking", "pooled"])
+def test_epoch_fence_surfaces_estale(mode):
+    """Under the fail-fast policy a fenced in-flight op surfaces as
+    EStaleEpoch with the ESTALE errno — the session-recovery errno the
+    native API can never produce."""
+    plan = FaultPlan.of(FaultSpec(
+        kind=FaultKind.CARD_RESET, op="send", vm="vm0", at=(0,),
+    ))
+    machine = Machine(cards=1, fault_plan=plan).boot()
+    base = MODES[mode]
+    vm = machine.create_vm(
+        "vm0", ram_bytes=2 << 30,
+        vphi_config=VPhiConfig(
+            backend_workers=base.backend_workers,
+            recovery_policy="fail_fast",
+        ),
+    )
+    card = machine.card_node_id(0)
+    srv = machine.scif(machine.card_process("srv"))
+
+    def server():
+        sep = yield from srv.open()
+        yield from srv.bind(sep, PORT)
+        yield from srv.listen(sep)
+        while True:
+            conn, _ = yield from srv.accept(sep)
+
+    machine.sim.spawn(server())
+    lib = vm.vphi.libscif(vm.guest_process("app"))
+
+    def client():
+        ep = yield from lib.open()
+        yield from lib.connect(ep, (card, PORT))
+        try:
+            yield from lib.send(ep, b"ping")
+        except EStaleEpoch as e:
+            return type(e).__name__, e.errno_name
+        return None
+
+    c = vm.spawn_guest(client())
+    machine.run()
+    assert c.value == ("EStaleEpoch", "ESTALE")

@@ -7,16 +7,21 @@ and a :meth:`submit_batch` of independent requests must return results
 aligned with its calls, in order.
 """
 
+import os
+
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro import Machine
 from repro.vphi import BatchCall, VPhiConfig, VPhiOp, spec_for
 
+# the nightly chaos job raises this well past the CI default
+N_EXAMPLES = int(os.environ.get("VPHI_CHAOS_EXAMPLES", "8"))
+
 _port_counter = [12000]
 
 
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=N_EXAMPLES, deadline=None, print_blob=True)
 @given(
     ring_size=st.sampled_from([8, 16, 32]),
     chunk_size=st.sampled_from([4096, 16384, 65536]),
@@ -83,7 +88,7 @@ def test_segmented_rma_reassembles_byte_exact(ring_size, chunk_size, size, seed)
     assert vm.guest_kernel.kmalloc.live == 0
 
 
-@settings(max_examples=8, deadline=None)
+@settings(max_examples=N_EXAMPLES, deadline=None, print_blob=True)
 @given(
     ring_size=st.sampled_from([8, 16, 256]),
     sizes=st.lists(st.integers(1, 8192), min_size=1, max_size=6),
@@ -197,6 +202,6 @@ def test_batch_raises_first_error_after_reaping_all():
     machine.sim.spawn(server())
     c = vm.spawn_guest(client())
     machine.run()
-    assert c.value == "ScifError"
+    assert c.value == "EBADF"
     # all three chains were reaped and released despite the failure
     assert vm.guest_kernel.kmalloc.live == 0

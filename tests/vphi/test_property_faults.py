@@ -7,6 +7,8 @@ deadlock, never leak a ring descriptor or bounce buffer, and never
 corrupt the results of a second, fault-free VM sharing the card.
 """
 
+import os
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -14,13 +16,26 @@ from repro import FaultKind, FaultPlan, FaultSpec, Machine
 from repro.scif import ScifError
 from repro.vphi import VPhiConfig
 
+# the nightly chaos job raises this well past the CI default
+N_EXAMPLES = int(os.environ.get("VPHI_CHAOS_EXAMPLES", "10"))
+
 PORT = 8600
 KB = 1 << 10
 CHAOS_VM = "vm-chaos"
 
+# CARD_RESET and BACKEND_RESTART are *machine-wide* invalidations (every
+# VM sharing the card loses its endpoints), so they cannot satisfy this
+# test's clean-VM-isolation invariant by design; their blast radius is
+# covered by tests/vphi/test_session_recovery.py and
+# test_property_session.py instead.
+PER_VM_KINDS = tuple(
+    k for k in FaultKind.ALL
+    if k not in (FaultKind.CARD_RESET, FaultKind.BACKEND_RESTART)
+)
+
 fault_specs = st.builds(
     FaultSpec,
-    kind=st.sampled_from(FaultKind.ALL),
+    kind=st.sampled_from(PER_VM_KINDS),
     op=st.sampled_from([None, "vreadfrom", "vwriteto", "fence_mark"]),
     vm=st.just(CHAOS_VM),  # faults pinned to the chaos VM
     every=st.integers(1, 4),
@@ -59,7 +74,7 @@ def window_pair(machine, port, size=256 * KB, fill=0x5A):
     return ready
 
 
-@settings(max_examples=10, deadline=None,
+@settings(max_examples=N_EXAMPLES, deadline=None, print_blob=True,
           suppress_health_check=[HealthCheck.too_slow])
 @given(specs=st.lists(fault_specs, min_size=1, max_size=3), ops=chaos_ops)
 def test_chaos_plan_never_deadlocks_leaks_or_cross_corrupts(specs, ops):
