@@ -17,8 +17,7 @@ pooled run must show none.
 import numpy as np
 
 from conftest import fresh_machine, print_table
-from repro import Machine
-from repro.analysis import concurrency_stats
+from repro.analysis import concurrency_snapshot, concurrency_stats
 from repro.sim import ms
 from repro.vphi import VPhiConfig
 
@@ -82,6 +81,7 @@ def run_scenario(workers: int):
             clients.append(spawn_stream(machine, vm, port, ready))
             port += 1
     t0 = machine.sim.now
+    snaps = [concurrency_snapshot(vm) for vm in vms]
     machine.run()
     elapsed = machine.sim.now - t0
     expected = RMA_BYTES * 0x5A
@@ -89,7 +89,7 @@ def run_scenario(workers: int):
         assert client.triggered, "a stream deadlocked"
         assert client.value == expected, "a stream read corrupt data"
     total_bytes = len(clients) * OPS_PER_STREAM * RMA_BYTES
-    stats = [concurrency_stats(vm, elapsed) for vm in vms]
+    stats = [concurrency_stats(vm, since=snap) for vm, snap in zip(vms, snaps)]
     return machine, vms, total_bytes / elapsed, elapsed, stats
 
 

@@ -18,10 +18,12 @@ from dataclasses import dataclass
 from .calibration import SCIF_COSTS
 
 __all__ = [
+    "ConcurrencySnapshot",
     "ConcurrencyStats",
     "OpStats",
     "PhaseShare",
     "RecoveryStats",
+    "concurrency_snapshot",
     "concurrency_stats",
     "overhead_breakdown",
     "per_op_stats",
@@ -198,35 +200,103 @@ class ConcurrencyStats:
         return self.pool_size > 0
 
 
-def concurrency_stats(vm, elapsed: float = None) -> ConcurrencyStats:
-    """Event-loop occupancy + pool utilization for one vPHI-enabled VM.
+@dataclass(frozen=True)
+class ConcurrencySnapshot:
+    """A window boundary for :func:`concurrency_stats`.
 
-    ``elapsed`` defaults to the simulation clock, which is right after a
-    ``machine.run()`` to quiescence; pass an explicit window to normalise
-    a sub-interval.
+    Take one with :func:`concurrency_snapshot` at the start of the
+    interval you care about, run traffic, then pass it back as
+    ``since=``; the reported occupancy/utilization cover exactly that
+    window.  The snapshot counts any pause still open at capture time
+    (``Domain.paused_seconds``), so a vCPU frozen across the boundary is
+    charged to each window only for the part inside it.
     """
+
+    vm: str
+    time: float
+    paused_seconds: float
+    pool_busy: float = 0.0
+    pool_credit_wait: float = 0.0
+    pool_completed: int = 0
+    arbiter_grants: int = 0
+
+
+def concurrency_snapshot(vm) -> ConcurrencySnapshot:
+    """Capture one VM's concurrency counters at the current sim time."""
     backend = vm.vphi.backend
-    if elapsed is None:
-        elapsed = backend.sim.now
-    paused = vm.domain.paused_time
-    occupancy = min(paused / elapsed, 1.0) if elapsed > 0 else 0.0
     pool = backend.pool
     if pool is None:
-        return ConcurrencyStats(vm.name, elapsed, occupancy)
-    return ConcurrencyStats(
-        vm.name, elapsed, occupancy,
-        pool_size=pool.size,
-        pool_utilization=pool.utilization(elapsed),
-        peak_inflight=pool.peak_inflight,
-        pooled_requests=pool.completed,
-        credit_wait=pool.credit_wait,
+        return ConcurrencySnapshot(
+            vm.name, backend.sim.now, vm.domain.paused_seconds
+        )
+    return ConcurrencySnapshot(
+        vm.name,
+        backend.sim.now,
+        vm.domain.paused_seconds,
+        pool_busy=pool.busy_time,
+        pool_credit_wait=pool.credit_wait,
+        pool_completed=pool.completed,
         arbiter_grants=pool.arbiter.grants_by_vm.get(vm.name, 0),
     )
 
 
-def render_concurrency(vm, elapsed: float = None) -> str:
+def concurrency_stats(
+    vm,
+    elapsed: float | None = None,
+    since: ConcurrencySnapshot | None = None,
+) -> ConcurrencyStats:
+    """Event-loop occupancy + pool utilization for one vPHI-enabled VM.
+
+    With no arguments the window is the whole run (time 0 to the
+    simulation clock, which is right after a ``machine.run()`` to
+    quiescence).  To measure a sub-interval pass ``since=`` a
+    :class:`ConcurrencySnapshot` taken at the window's start — the
+    paused/busy/credit numbers are then *deltas* against that boundary.
+    A bare ``elapsed`` (without ``since``) only rescales whole-run
+    totals and is almost never what a sub-window measurement wants:
+    dividing run-total paused time by a shorter window inflates
+    occupancy (historically masked by the ``min(..., 1.0)`` clamp).
+    """
+    backend = vm.vphi.backend
+    now = backend.sim.now
+    if since is not None:
+        if since.vm != vm.name:
+            raise ValueError(
+                f"snapshot is for VM {since.vm!r}, stats requested for {vm.name!r}"
+            )
+        if elapsed is None:
+            elapsed = now - since.time
+        paused = vm.domain.paused_seconds - since.paused_seconds
+    else:
+        if elapsed is None:
+            elapsed = now
+        paused = vm.domain.paused_seconds
+    occupancy = min(paused / elapsed, 1.0) if elapsed > 0 else 0.0
+    pool = backend.pool
+    if pool is None:
+        return ConcurrencyStats(vm.name, elapsed, occupancy)
+    base = since or ConcurrencySnapshot(vm.name, 0.0, 0.0)
+    busy = pool.busy_time - base.pool_busy
+    util = min(busy / (pool.size * elapsed), 1.0) if elapsed > 0 else 0.0
+    return ConcurrencyStats(
+        vm.name, elapsed, occupancy,
+        pool_size=pool.size,
+        pool_utilization=util,
+        peak_inflight=pool.peak_inflight,
+        pooled_requests=pool.completed - base.pool_completed,
+        credit_wait=pool.credit_wait - base.pool_credit_wait,
+        arbiter_grants=pool.arbiter.grants_by_vm.get(vm.name, 0)
+        - base.arbiter_grants,
+    )
+
+
+def render_concurrency(
+    vm,
+    elapsed: float | None = None,
+    since: ConcurrencySnapshot | None = None,
+) -> str:
     """Human-readable concurrency summary for one VM."""
-    s = concurrency_stats(vm, elapsed)
+    s = concurrency_stats(vm, elapsed, since=since)
     mode = f"pooled x{s.pool_size}" if s.pooled else "blocking"
     lines = [
         f"vPHI backend concurrency ({s.vm}, {mode} dispatch):",

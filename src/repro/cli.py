@@ -5,6 +5,7 @@
     python -m repro fig5 [--sizes 1048576,268435456]
     python -m repro dgemm --n 2000 --threads 112 [--vm]
     python -m repro stream --n 20000000 --iters 10 [--vm]
+    python -m repro trace [--out vphi_trace.json] [--check]
 
 Every command builds the paper's testbed (one 3120P), runs the workload
 deterministically, and prints the measured series.
@@ -101,6 +102,53 @@ def _cmd_stream(args) -> int:
                    [str(args.n), str(args.iters), str(args.threads)])
 
 
+def _cmd_trace(args) -> int:
+    """Run the Fig 4 guest workload with spans on; export a Chrome trace.
+
+    The exported JSON loads in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``: one track per request tag, one slice per
+    lifecycle phase.  ``--check`` additionally verifies the span
+    invariants (gap-free phases summing to end-to-end latency) and the
+    trace-event schema, failing the command on any violation.
+    """
+    import json
+
+    from .analysis import (
+        check_span_invariants,
+        render_span_breakdown,
+        span_breakdown,
+        validate_chrome_trace,
+    )
+    from .system import Machine
+    from .workloads import ClientContext, sendrecv_latency
+
+    sizes = _parse_sizes(args.sizes) if args.sizes else [1, 1024, 65536]
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    sendrecv_latency(machine, ClientContext.guest(vm), sizes)
+
+    doc = vm.tracer.export_chrome_trace()
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    events = doc["traceEvents"]
+    spans = len(vm.tracer.spans)
+    print(f"wrote {args.out}: {len(events)} trace events from {spans} spans")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    print()
+    print(render_span_breakdown(span_breakdown(vm.tracer)))
+
+    if args.check:
+        problems = check_span_invariants(vm.tracer) + validate_chrome_trace(doc)
+        if problems:
+            print()
+            for p in problems:
+                print(f"FAIL {p}", file=sys.stderr)
+            return 1
+        print()
+        print(f"ok: span invariants hold and {args.out} is valid trace-event JSON")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -134,6 +182,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=112)
     p.add_argument("--vm", action="store_true", help="launch from inside a VM")
     p.set_defaults(fn=_cmd_stream)
+
+    p = sub.add_parser(
+        "trace", help="export a Chrome/Perfetto trace of the vPHI request lifecycle"
+    )
+    p.add_argument("--sizes", help="comma-separated byte sizes (default 1,1024,65536)")
+    p.add_argument("--out", default="vphi_trace.json", help="output JSON path")
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="verify span invariants and trace-event schema; exit 1 on violation",
+    )
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

@@ -220,7 +220,10 @@ class NativeScif:
             raise ECONNRESET("peer endpoint closed")
         payload = as_bytes_array(data)
         if len(payload) == 0:
-            raise EINVAL("zero-length send")
+            # scif_send(ep, buf, 0) returns 0 without touching the wire
+            # (matching Linux); the connection checks above still apply.
+            self.tracer.count("scif.send")
+            return 0
         remote_id = ep.peer_addr[0]
         wire = self.fabric.msg_delay(self.node.node_id, remote_id)
         # payload streams at the send-recv (ring buffer) rate
@@ -238,10 +241,15 @@ class NativeScif:
     def recv(self, ep: Endpoint, nbytes: int, flags: RecvFlag = RecvFlag.SCIF_RECV_BLOCK):
         """scif_recv(): blocking form waits for exactly ``nbytes``."""
         yield self._syscall()
-        if nbytes <= 0:
-            raise EINVAL("recv length must be positive")
+        if nbytes < 0:
+            raise EINVAL("recv length must be non-negative")
         if ep.state is not EpState.CONNECTED and ep.rx_bytes == 0:
             raise ENOTCONN(f"recv on endpoint in state {ep.state.value}")
+        if nbytes == 0:
+            # zero-length recv completes immediately with an empty buffer
+            # (mirroring the zero-length send: header only, no payload).
+            self.tracer.count("scif.recv")
+            return ep.dequeue_rx(0)
         block = bool(flags & RecvFlag.SCIF_RECV_BLOCK)
         if block:
             while ep.rx_bytes < nbytes:

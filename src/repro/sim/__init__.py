@@ -28,7 +28,7 @@ from .primitives import (
     WaitQueue,
     run_with,
 )
-from .trace import LatencyStat, TraceRecord, Tracer
+from .trace import LatencyStat, Span, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -49,6 +49,7 @@ __all__ = [
     "Semaphore",
     "SimError",
     "Simulator",
+    "Span",
     "Timeout",
     "TraceRecord",
     "Tracer",

@@ -193,6 +193,18 @@ class Domain:
     def paused(self) -> bool:
         return self._pause_depth > 0
 
+    @property
+    def paused_seconds(self) -> float:
+        """Total frozen time so far, *including* any still-open pause.
+
+        ``paused_time`` only accumulates when the last nested pause is
+        released; windowed accounting (occupancy over a sub-interval)
+        needs the open pause counted up to now, or a domain frozen
+        across a window boundary is invisible to that window.
+        """
+        open_pause = (self.sim.now - self._paused_at) if self.paused else 0.0
+        return self.paused_time + open_pause
+
     def pause(self) -> None:
         if self._pause_depth == 0:
             self._paused_at = self.sim.now

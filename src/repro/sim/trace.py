@@ -4,15 +4,52 @@ Every layer of the stack emits trace records (``tracer.emit(...)``) and
 bumps counters; the benchmark harness reads them back to build the paper's
 breakdown analyses (e.g. the §IV-B attribution of 93 % of the latency
 overhead to the frontend wait scheme).
+
+Three tiers of detail, cheapest first:
+
+* **counters / accumulators / stats** — always on.  :class:`LatencyStat`
+  keeps a sparse geometric histogram alongside min/mean/max, so p50/p95/
+  p99 come for free wherever a latency was observed.
+* **records** — opt-in per category (``enable``) or wholesale
+  (``record_all``), stored in a capped ring buffer so a long chaos run
+  cannot grow memory without bound (drops are counted under
+  ``vphi.trace.dropped_records``).
+* **spans** — one :class:`Span` per request lifecycle, stamped with
+  phase timestamps by every layer it crosses (frontend, ring, backend,
+  pool, host).  Phase durations telescope — consecutive timestamp
+  differences — so they sum to the span's end-to-end latency *exactly*.
+  Completed spans export as Chrome trace-event JSON
+  (:meth:`Tracer.export_chrome_trace`) loadable in ``chrome://tracing``
+  or Perfetto.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+import math
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
-__all__ = ["TraceRecord", "Tracer", "LatencyStat"]
+from .errors import SimError
+
+__all__ = [
+    "DEFAULT_MAX_RECORDS",
+    "DEFAULT_MAX_SPANS",
+    "DROPPED_RECORDS_KEY",
+    "DROPPED_SPANS_KEY",
+    "LatencyStat",
+    "Span",
+    "TraceRecord",
+    "Tracer",
+]
+
+#: generous default caps: a full Fig 4/5 run stays far below these, while
+#: an unbounded chaos-soak run tops out instead of eating the heap.
+DEFAULT_MAX_RECORDS = 65536
+DEFAULT_MAX_SPANS = 65536
+#: counter bumped once per record/span dropped on ring-buffer overflow.
+DROPPED_RECORDS_KEY = "vphi.trace.dropped_records"
+DROPPED_SPANS_KEY = "vphi.trace.dropped_spans"
 
 
 @dataclass(frozen=True)
@@ -31,10 +68,21 @@ class TraceRecord:
         return default
 
 
-class LatencyStat:
-    """Streaming min/max/mean/count accumulator for one named quantity."""
+#: histogram resolution: geometric buckets, 10 per decade (each bucket
+#: spans a ~26 % relative range — plenty for latency percentiles).
+BUCKETS_PER_DECADE = 10
 
-    __slots__ = ("name", "count", "total", "min", "max")
+
+class LatencyStat:
+    """Streaming accumulator for one named quantity.
+
+    Tracks count/total/min/max plus a sparse geometric histogram, so
+    :meth:`percentile` (and the ``p50``/``p95``/``p99`` shorthands) are
+    available wherever a bare mean used to be.  Non-positive values
+    (zero-duration observations) land in a dedicated underflow bucket.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "zeros", "buckets")
 
     def __init__(self, name: str):
         self.name = name
@@ -42,6 +90,10 @@ class LatencyStat:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.zeros = 0
+        #: sparse histogram: bucket index -> observation count, where
+        #: bucket ``i`` covers ``[10^(i/N), 10^((i+1)/N))``.
+        self.buckets: dict[int, int] = {}
 
     def add(self, value: float) -> None:
         self.count += 1
@@ -50,37 +102,182 @@ class LatencyStat:
             self.min = value
         if value > self.max:
             self.max = value
+        if value > 0.0:
+            idx = math.floor(math.log10(value) * BUCKETS_PER_DECADE)
+            self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        else:
+            self.zeros += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def bucket_bounds(idx: int) -> tuple[float, float]:
+        """The ``[lo, hi)`` value range bucket ``idx`` covers."""
+        return (10 ** (idx / BUCKETS_PER_DECADE),
+                10 ** ((idx + 1) / BUCKETS_PER_DECADE))
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (0..100) from the histogram.
+
+        Nearest-rank over the bucket counts, linearly interpolated inside
+        the winning bucket and clamped to the exact observed min/max.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, math.ceil(q / 100.0 * self.count))
+        cum = self.zeros
+        if cum >= target:
+            return min(0.0, self.max) if self.min <= 0 else self.min
+        for idx in sorted(self.buckets):
+            n = self.buckets[idx]
+            if cum + n >= target:
+                lo, hi = self.bucket_bounds(idx)
+                frac = (target - cum) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            cum += n
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.count == 0:
+            # never leak min=inf / max=-inf from the empty state
+            return f"<LatencyStat {self.name} n=0 mean=- min=- max=->"
         return (
             f"<LatencyStat {self.name} n={self.count} mean={self.mean:.3g} "
-            f"min={self.min:.3g} max={self.max:.3g}>"
+            f"min={self.min:.3g} max={self.max:.3g} p50={self.p50:.3g} "
+            f"p99={self.p99:.3g}>"
+        )
+
+
+class Span:
+    """One request's lifecycle: a start time plus phase timestamps.
+
+    Each :meth:`mark` records "phase *ended* now"; a phase's duration is
+    the gap back to the previous mark (or the start).  Durations
+    therefore telescope — they sum to ``end - start`` exactly, with no
+    float drift and no gaps — which is the invariant the span test suite
+    holds the whole stack to.
+
+    A span survives tag renewal (frontend retries re-post under a fresh
+    tag): ``tags`` accumulates every correlation id the request was
+    posted under, and the tracer's active-span table maps each of them
+    back here until the span ends.
+    """
+
+    __slots__ = ("op", "vm", "start", "marks", "status", "tags")
+
+    def __init__(self, op: str, start: float, vm: str = ""):
+        self.op = op
+        self.vm = vm
+        self.start = start
+        #: ``(phase, end_time)`` in mark order; times are monotone.
+        self.marks: list[tuple[str, float]] = []
+        #: None while open; "ok"/"error"/"timeout"/"stale"/... once ended.
+        self.status: Optional[str] = None
+        #: every tag this request was posted under (retries append).
+        self.tags: list[int] = []
+
+    @property
+    def tag(self) -> Optional[int]:
+        """The most recent correlation id (None before first posting)."""
+        return self.tags[-1] if self.tags else None
+
+    @property
+    def closed(self) -> bool:
+        return self.status is not None
+
+    @property
+    def end(self) -> float:
+        return self.marks[-1][1] if self.marks else self.start
+
+    @property
+    def elapsed(self) -> float:
+        return self.end - self.start
+
+    def mark(self, phase: str, time: float) -> None:
+        """Stamp "``phase`` ended at ``time``"; times must be monotone."""
+        if time < self.end:
+            raise SimError(
+                f"span {self.op} tag={self.tag}: mark {phase!r} at {time:g} "
+                f"precedes previous mark at {self.end:g}"
+            )
+        self.marks.append((phase, time))
+
+    def phase_durations(self) -> dict[str, float]:
+        """Seconds spent per phase (repeated phases accumulate); the
+        values sum to :attr:`elapsed` exactly by construction."""
+        out: dict[str, float] = {}
+        prev = self.start
+        for phase, t in self.marks:
+            out[phase] = out.get(phase, 0.0) + (t - prev)
+            prev = t
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self.status or "open"
+        return (
+            f"<Span {self.op} tag={self.tag} {state} "
+            f"phases={len(self.marks)} elapsed={self.elapsed:.3g}>"
         )
 
 
 class Tracer:
-    """Collects trace records, counters and time accumulators.
+    """Collects trace records, counters, accumulators and request spans.
 
-    Recording full records is opt-in per category (``enable``) so hot paths
-    stay cheap; counters and accumulators are always on.
+    Recording full records is opt-in per category (``enable``) so hot
+    paths stay cheap; counters and accumulators are always on; spans are
+    on by default (``record_spans=False`` turns the whole span layer into
+    no-ops for overhead-sensitive soaks).
     """
 
-    def __init__(self, record_all: bool = False):
-        self.records: list[TraceRecord] = []
+    def __init__(
+        self,
+        record_all: bool = False,
+        max_records: Optional[int] = DEFAULT_MAX_RECORDS,
+        max_spans: Optional[int] = DEFAULT_MAX_SPANS,
+        record_spans: bool = True,
+    ):
+        #: capped ring buffer: overflow drops the oldest record and bumps
+        #: :attr:`dropped_records` + ``vphi.trace.dropped_records``.
+        self.records: deque[TraceRecord] = deque(maxlen=max_records)
         self.counters: Counter[str] = Counter()
         self.accumulators: defaultdict[str, float] = defaultdict(float)
         self.stats: dict[str, LatencyStat] = {}
         self._enabled: set[str] = set()
         self._record_all = record_all
         self._clock: Callable[[], float] = lambda: 0.0
+        self.record_spans = record_spans
+        #: live spans by correlation tag (retried requests map several
+        #: tags to one span); a leak here is a bug the tests hunt.
+        self.active_spans: dict[int, Span] = {}
+        #: completed spans, oldest dropped past ``max_spans``.
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self.dropped_records = 0
+        self.dropped_spans = 0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulator's ``now`` so records carry simulated time."""
         self._clock = clock
+
+    @property
+    def now(self) -> float:
+        return self._clock()
 
     def enable(self, *categories: str) -> None:
         self._enabled.update(categories)
@@ -91,6 +288,10 @@ class Tracer:
     def emit(self, category: str, message: str, **fields: Any) -> None:
         self.counters[category] += 1
         if self._record_all or category in self._enabled:
+            if (self.records.maxlen is not None
+                    and len(self.records) == self.records.maxlen):
+                self.dropped_records += 1
+                self.counters[DROPPED_RECORDS_KEY] += 1
             self.records.append(
                 TraceRecord(self._clock(), category, message, tuple(fields.items()))
             )
@@ -114,20 +315,135 @@ class Tracer:
     def find(self, category: str) -> list[TraceRecord]:
         return [r for r in self.records if r.category == category]
 
+    # ------------------------------------------------------------------
+    # request-lifecycle spans
+    # ------------------------------------------------------------------
+    def new_span(self, op: str, vm: str = "") -> Optional[Span]:
+        """Open a span starting now (None when spans are disabled)."""
+        if not self.record_spans:
+            return None
+        return Span(op, self._clock(), vm=vm)
+
+    def bind_span(self, tag: int, span: Optional[Span]) -> None:
+        """Register ``span`` under a correlation tag so layers that only
+        see the wire tag (backend, pool) can stamp it."""
+        if span is None:
+            return
+        span.tags.append(tag)
+        self.active_spans[tag] = span
+
+    def unbind_span(self, tag: int) -> None:
+        """Drop one tag's active-table entry (the span itself lives on)."""
+        self.active_spans.pop(tag, None)
+
+    def span_for(self, tag: int) -> Optional[Span]:
+        return self.active_spans.get(tag)
+
+    def mark(self, span: Optional[Span], phase: str) -> None:
+        """Stamp "``phase`` ended now" on ``span`` (no-op on None or on
+        an already-closed span — batch cleanup paths sweep both)."""
+        if span is not None and not span.closed:
+            span.mark(phase, self._clock())
+
+    def mark_tag(self, tag: int, phase: str) -> None:
+        """Stamp a phase on whatever span ``tag`` correlates to, if any."""
+        span = self.active_spans.get(tag)
+        if span is not None:
+            span.mark(phase, self._clock())
+
+    def end_span(self, span: Optional[Span], status: str = "ok") -> None:
+        """Close ``span`` with ``status``; idempotent (the first close
+        wins, so cleanup paths can end defensively)."""
+        if span is None or span.closed:
+            return
+        span.status = status
+        for tag in span.tags:
+            if self.active_spans.get(tag) is span:
+                del self.active_spans[tag]
+        if (self.spans.maxlen is not None
+                and len(self.spans) == self.spans.maxlen):
+            self.dropped_spans += 1
+            self.counters[DROPPED_SPANS_KEY] += 1
+        self.spans.append(span)
+
+    # ------------------------------------------------------------------
+    def export_chrome_trace(self, include_open: bool = False) -> dict:
+        """The run as Chrome trace-event JSON (the ``chrome://tracing`` /
+        Perfetto "JSON Object Format": a ``traceEvents`` list).
+
+        Each span becomes one enclosing complete ("X") event plus one
+        "X" event per phase segment; VMs map to pids (named via "M"
+        metadata events) and correlation tags to tids, so one VM's
+        requests stack as parallel timeline lanes.  Timestamps are
+        microseconds of simulated time.
+        """
+        events: list[dict] = []
+        pids: dict[str, int] = {}
+
+        def pid_for(vm: str) -> int:
+            pid = pids.get(vm)
+            if pid is None:
+                pid = pids[vm] = len(pids) + 1
+                events.append({
+                    "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                    "args": {"name": vm or "sim"},
+                })
+            return pid
+
+        spans: list[Span] = list(self.spans)
+        if include_open:
+            seen = set()
+            for span in self.active_spans.values():
+                if id(span) not in seen:
+                    seen.add(id(span))
+                    spans.append(span)
+        for span in spans:
+            pid = pid_for(span.vm)
+            tid = span.tag or 0
+            events.append({
+                "name": span.op, "cat": span.op, "ph": "X",
+                "ts": span.start * 1e6, "dur": span.elapsed * 1e6,
+                "pid": pid, "tid": tid,
+                "args": {"status": span.status or "open",
+                         "tags": list(span.tags)},
+            })
+            prev = span.start
+            for phase, t in span.marks:
+                events.append({
+                    "name": phase, "cat": span.op, "ph": "X",
+                    "ts": prev * 1e6, "dur": (t - prev) * 1e6,
+                    "pid": pid, "tid": tid,
+                    "args": {"op": span.op},
+                })
+                prev = t
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    # ------------------------------------------------------------------
     def reset(self) -> None:
         self.records.clear()
         self.counters.clear()
         self.accumulators.clear()
         self.stats.clear()
+        self.active_spans.clear()
+        self.spans.clear()
+        self.dropped_records = 0
+        self.dropped_spans = 0
 
     def summary(self, categories: Optional[Iterable[str]] = None) -> str:
-        """Human-readable dump used by example scripts."""
+        """Human-readable dump used by example scripts.
+
+        ``categories`` filters *both* sections: counters print exactly
+        the requested keys, accumulators print only requested ones.
+        """
+        wanted = set(categories) if categories is not None else None
         lines = ["counters:"]
-        keys = sorted(categories) if categories else sorted(self.counters)
+        keys = sorted(wanted) if wanted else sorted(self.counters)
         for key in keys:
             lines.append(f"  {key}: {self.counters[key]}")
-        if self.accumulators:
+        acc_keys = [k for k in sorted(self.accumulators)
+                    if wanted is None or k in wanted]
+        if acc_keys:
             lines.append("accumulators:")
-            for key in sorted(self.accumulators):
+            for key in acc_keys:
                 lines.append(f"  {key}: {self.accumulators[key]:.6g}")
         return "\n".join(lines)

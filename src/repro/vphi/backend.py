@@ -42,7 +42,14 @@ from ..scif.errors import EBADF, ECONNREFUSED, ENXIO, ESHUTDOWN
 from ..sim import Event, Tracer
 from ..virtio import VirtioDevice, VirtqueueElement
 from .config import VPhiConfig
-from .ops import OpSpec, spec_for
+from .ops import (
+    SPAN_BACKEND_POP,
+    SPAN_COMPLETION_PUSH,
+    SPAN_HOST_CALL,
+    SPAN_RING,
+    OpSpec,
+    spec_for,
+)
 from .pool import CardArbiter, WorkerPool
 from .protocol import VPhiRequest, VPhiResponse
 
@@ -195,8 +202,14 @@ class VPhiBackend:
         """
         req: VPhiRequest = elem.header
         spec = spec_for(req.op)
+        if worker is None:
+            # event-loop dispatch: the chain's ring residency ends here.
+            # (Pool members close it themselves at shard pickup, before
+            # the credit wait.)
+            self.tracer.mark_tag(req.tag, SPAN_RING)
         # map guest buffers + dispatch overhead
         yield self.sim.timeout(self.costs.backend)
+        self.tracer.mark_tag(req.tag, SPAN_BACKEND_POP)
         self.tracer.emit("vphi.timeline", "backend mapped buffers, dispatching",
                          tag=req.tag, op=spec.op_name, phase=spec.phase,
                          vm=self.vm.name)
@@ -221,13 +234,16 @@ class VPhiBackend:
             resp.error = err
             self.errors_returned += 1
             self.tracer.count(spec.error_key)
+        self.tracer.mark_tag(req.tag, SPAN_HOST_CALL)
         self.requests_served += 1
         self.tracer.count(spec.served_key)
         self.tracer.emit("vphi.timeline", "host call returned, irq injected",
                          tag=req.tag, op=spec.op_name, phase=spec.phase,
                          vm=self.vm.name)
         # the response record is written into the shared chain header
+        resp.pushed_at = self.sim.now
         self.virtio.ring.push_used(elem, written=resp.written, header=resp)
+        self.tracer.mark_tag(req.tag, SPAN_COMPLETION_PUSH)
         self.virtio.inject_irq()
 
     def _dispatch(self, spec: OpSpec, req: VPhiRequest, elem: VirtqueueElement):
@@ -502,7 +518,9 @@ class VPhiBackend:
         self.tracer.emit("vphi.timeline", "in-flight request aborted",
                          tag=req.tag, op=spec.op_name,
                          error=type(err).__name__, vm=self.vm.name)
+        resp.pushed_at = self.sim.now
         self.virtio.ring.push_used(elem, written=0, header=resp)
+        self.tracer.mark_tag(req.tag, SPAN_COMPLETION_PUSH)
         self.virtio.inject_irq()
 
     # ------------------------------------------------------------------

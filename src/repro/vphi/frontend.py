@@ -44,7 +44,19 @@ from ..sim import SimError, Simulator, Tracer, WaitQueue
 from ..virtio import VirtioDevice
 from .chunking import BounceBuffers
 from .config import VPhiConfig
-from .ops import spec_for
+from .ops import (
+    SPAN_COPY_IN,
+    SPAN_COPY_OUT,
+    SPAN_GUEST_RETURN,
+    SPAN_GUEST_WAKE,
+    SPAN_IRQ_DELIVER,
+    SPAN_KICK,
+    SPAN_MARSHAL,
+    SPAN_POST,
+    SPAN_RETRY_BACKOFF,
+    SPAN_SESSION_WAIT,
+    spec_for,
+)
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
 from .session import ACTIVE, SessionManager
 from .wait import make_wait_scheme
@@ -67,10 +79,10 @@ class _Prepared:
     """A marshalled request whose bounce chunks are live in guest memory."""
 
     __slots__ = ("spec", "req", "hdr_ext", "out_bb", "in_bb",
-                 "out_descs", "in_descs", "orig_handle")
+                 "out_descs", "in_descs", "orig_handle", "span")
 
     def __init__(self, spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
-                 orig_handle=0):
+                 orig_handle=0, span=None):
         self.spec = spec
         self.req = req
         self.hdr_ext = hdr_ext
@@ -82,6 +94,10 @@ class _Prepared:
         #: re-translates it to the current backend handle at every post,
         #: so a retry spanning a recovery lands on the rebuilt endpoint.
         self.orig_handle = orig_handle
+        #: the request's lifecycle span (None with tracing disabled).
+        #: One span covers the whole request across retries — every tag
+        #: it was posted under maps back to it in the tracer.
+        self.span = span
 
     @property
     def needed_descriptors(self) -> int:
@@ -209,6 +225,13 @@ class VPhiFrontend:
                 self.tracer.count("vphi.completions.out_of_order")
             else:
                 self._max_completed_tag = resp.tag
+            self.tracer.mark_tag(resp.tag, SPAN_IRQ_DELIVER)
+            if resp.pushed_at is not None:
+                # completion-push -> ISR-drain gap: the interrupt
+                # delivery latency histogram (coalescing + vCPU
+                # scheduling spread its tail).
+                self.tracer.observe("vphi.irq.delivery_latency",
+                                    self.sim.now - resp.pushed_at)
             self.responses[resp.tag] = resp
         if reaped:
             # reaping released descriptors: unblock parked submitters
@@ -334,14 +357,27 @@ class VPhiFrontend:
                 out.append((result, in_data))
                 self.tracer.observe(p.spec.latency_key, self.sim.now - t0_batch)
             if first_error is not None:
+                # requests that did complete keep their "ok" spans even
+                # though the batch as a whole raises (the failed ones
+                # were closed with their real status by _complete).
+                for p in prepared:
+                    self.tracer.end_span(p.span, "ok")
                 raise first_error
             # one response demux + syscall return for the whole batch
             yield self.sim.timeout(self.costs.guest_return)
             acc("vphi.phase.guest_return", self.costs.guest_return)
+            for p in prepared:
+                self.tracer.mark(p.span, SPAN_GUEST_RETURN)
+                self.tracer.end_span(p.span, "ok")
             return out
         finally:
             for p in prepared:
                 p.release(self.kmalloc)
+                # any span still open here died on an exception path
+                # that never reached a completion (prepare faults,
+                # duplicate-tag SimErrors, ...): close it so no span
+                # ever leaks in the active table.
+                self.tracer.end_span(p.span, "error")
 
     def _submit_one(
         self,
@@ -373,9 +409,15 @@ class VPhiFrontend:
             yield self.sim.timeout(self.costs.guest_return)
             acc("vphi.phase.guest_return", self.costs.guest_return)
             self.tracer.observe(p.spec.latency_key, self.sim.now - t0_req)
+            self.tracer.mark(p.span, SPAN_GUEST_RETURN)
+            self.tracer.end_span(p.span, "ok")
             return result, in_data
         finally:
             p.release(self.kmalloc)
+            # idempotent close: a no-op on the normal path, the span's
+            # last line of defence on any exception path _complete did
+            # not already classify.
+            self.tracer.end_span(p.span, "error")
 
     # ------------------------------------------------------------------
     # the four stages every submission goes through
@@ -392,6 +434,12 @@ class VPhiFrontend:
         spec = spec_for(op)
         self.requests += 1
         acc = self.tracer.accumulate
+        # the request's lifecycle span opens here, before any simulated
+        # work, so the marshal phase covers the whole guest-kernel entry.
+        # It is bound to a tag only at _post_chain (tags are allocated
+        # last, and retries re-bind fresh ones).
+        span = (spec.begin_span(self.tracer, vm=self.vm.name)
+                if self.config.trace_spans else None)
         # frontend-side fault draw: link flaps trigger by op index / name /
         # VM / time window and stall the shared PCIe medium while it
         # retrains (the request itself proceeds and rides out the stall).
@@ -405,6 +453,7 @@ class VPhiFrontend:
         # 3b/3c: request marshalling in the guest kernel
         yield self.sim.timeout(self.costs.frontend)
         acc("vphi.phase.frontend", self.costs.frontend)
+        self.tracer.mark(span, SPAN_MARSHAL)
         out_bb: Optional[BounceBuffers] = None
         in_bb: Optional[BounceBuffers] = None
         # the serialized request header always rides as the first out
@@ -421,6 +470,7 @@ class VPhiFrontend:
                 copy_t = len(out_data) / self.host_params.memcpy_bandwidth
                 yield self.sim.timeout(copy_t)
                 acc("vphi.phase.copy", copy_t)
+                self.tracer.mark(span, SPAN_COPY_IN)
                 out_bb.scatter(out_data)
                 out_descs.extend(out_bb.descriptors())
             if in_nbytes:
@@ -440,7 +490,7 @@ class VPhiFrontend:
             tag=next(self._tags),
         )
         return _Prepared(spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
-                         orig_handle=handle)
+                         orig_handle=handle, span=span)
 
     def _post_chain(self, p: _Prepared, replay: bool = False):
         """Put one prepared chain on the ring, parking on exhaustion.
@@ -463,6 +513,9 @@ class VPhiFrontend:
         while True:
             if ses.enabled and not replay and ses.state != ACTIVE:
                 yield from ses.gate()
+                # a gated submit attributes the rebuild wait to its own
+                # phase instead of folding it into the post.
+                self.tracer.mark(p.span, SPAN_SESSION_WAIT)
             if self.virtio.ring.num_free >= p.needed_descriptors:
                 break
             yield self.ring_space.wait()
@@ -473,6 +526,8 @@ class VPhiFrontend:
         self._inflight[p.req.tag] = p
         self.virtio.ring.add_chain(out=p.out_descs, inb=p.in_descs, header=p.req)
         self.tracer.count(p.spec.counter_key)
+        self.tracer.bind_span(p.req.tag, p.span)
+        self.tracer.mark(p.span, SPAN_POST)
         self.tracer.emit("vphi.timeline", "request posted to ring",
                          tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
 
@@ -483,6 +538,7 @@ class VPhiFrontend:
         yield from self.virtio.kick()
         self.tracer.accumulate("vphi.phase.kick", self.sim.now - t0)
         for p in group:
+            self.tracer.mark(p.span, SPAN_KICK)
             self.tracer.emit("vphi.timeline", "backend kicked (vmexit)",
                              tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
 
@@ -501,6 +557,7 @@ class VPhiFrontend:
         # wakeup share is accumulated separately by the wait scheme.
         self.tracer.accumulate("vphi.phase.wait", self.sim.now - t0)
         if resp is not None:
+            self.tracer.mark(p.span, SPAN_GUEST_WAKE)
             self.tracer.emit("vphi.timeline", "response reaped after wakeup",
                              tag=p.req.tag, op=p.spec.op_name, phase=p.spec.phase)
         return resp
@@ -534,8 +591,11 @@ class VPhiFrontend:
             if resp is None:
                 # watchdog expiry: abandon the tag so the late response
                 # (if the backend ever completes it) is dropped on drain.
+                # The tag leaves the active-span table with it — a late
+                # completion must never stamp this span again.
                 self.timeouts += 1
                 self._abandoned.add(p.req.tag)
+                self.tracer.unbind_span(p.req.tag)
                 self.tracer.count("vphi.fault.timeouts")
                 err: Exception = ETIMEDOUT(
                     f"{self.vm.name}: {spec.op_name} gave no completion "
@@ -563,6 +623,7 @@ class VPhiFrontend:
                                      tag=p.req.tag, op=spec.op_name,
                                      epoch=ses.epoch)
                     yield from ses.await_active()  # raises if circuit opens
+                    self.tracer.mark(p.span, SPAN_SESSION_WAIT)
                     p.renew_tag(next(self._tags))
                     yield from self._post_chain(p, replay=replay)
                     yield from self._kick([p])
@@ -570,12 +631,15 @@ class VPhiFrontend:
                 if not replay:
                     self.tracer.count(spec.failed_key)
                     self.tracer.count("vphi.fault.failed")
+                self.tracer.end_span(p.span, "stale")
                 raise err
             if not (spec.idempotent and is_transient(err)
                     and attempt < cfg.max_retries):
                 if is_transient(err):
                     self.tracer.count(spec.failed_key)
                     self.tracer.count("vphi.fault.failed")
+                self.tracer.end_span(p.span,
+                                     "timeout" if resp is None else "error")
                 raise err
             # bounded exponential backoff, then re-post under a fresh tag
             attempt += 1
@@ -586,6 +650,7 @@ class VPhiFrontend:
                              tag=p.req.tag, op=spec.op_name, attempt=attempt,
                              error=type(err).__name__)
             yield self.sim.timeout(cfg.backoff_for(attempt))
+            self.tracer.mark(p.span, SPAN_RETRY_BACKOFF)
             p.renew_tag(next(self._tags))
             yield from self._post_chain(p, replay=replay)
             yield from self._kick([p])
@@ -597,6 +662,7 @@ class VPhiFrontend:
             copy_t = resp.written / self.host_params.memcpy_bandwidth
             yield self.sim.timeout(copy_t)
             self.tracer.accumulate("vphi.phase.copy", copy_t)
+            self.tracer.mark(p.span, SPAN_COPY_OUT)
             in_data = p.in_bb.gather(resp.written)
         return resp.result, in_data
 

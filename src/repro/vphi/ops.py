@@ -50,12 +50,78 @@ __all__ = [
     "BLOCKING",
     "NONBLOCKING",
     "OpSpec",
+    "SPAN_BACKEND_POP",
+    "SPAN_COMPLETION_PUSH",
+    "SPAN_COPY_IN",
+    "SPAN_COPY_OUT",
+    "SPAN_CREDIT_WAIT",
+    "SPAN_GUEST_RETURN",
+    "SPAN_GUEST_WAKE",
+    "SPAN_HOST_CALL",
+    "SPAN_IRQ_DELIVER",
+    "SPAN_KICK",
+    "SPAN_MARSHAL",
+    "SPAN_PHASE_ORDER",
+    "SPAN_POST",
+    "SPAN_RETRY_BACKOFF",
+    "SPAN_RING",
+    "SPAN_SESSION_WAIT",
     "default_nonblocking_ops",
     "register",
     "registered_ops",
     "spec_for",
     "temporary_op",
 ]
+
+# ----------------------------------------------------------------------
+# request-lifecycle span phases (Fig 3 steps, as stamped on each
+# request's Span).  Declared here — next to the op declarations — so the
+# frontend, blocking backend, pool members and session replay all stamp
+# the *same* vocabulary; every phase label in the stack resolves to one
+# of these constants.
+# ----------------------------------------------------------------------
+#: guest kernel marshalled the request header (3b).
+SPAN_MARSHAL = "marshal"
+#: user->kernel copy into the kmalloc bounce chunks (3i).
+SPAN_COPY_IN = "copy_in"
+#: descriptor chain landed on the avail ring (includes any time parked
+#: on ring-space exhaustion or the degraded-session gate).
+SPAN_POST = "post"
+#: backend notified — the vmexit (3c; shared by a whole batch).
+SPAN_KICK = "kick"
+#: ring residency: posted chain waited for the backend to take it up
+#: (event-loop dispatch latency, or pool shard queueing when pooled).
+SPAN_RING = "ring"
+#: pooled only: member waited for a machine-wide dispatch credit.
+SPAN_CREDIT_WAIT = "credit_wait"
+#: backend mapped the guest buffers and dispatched (pop + setup).
+SPAN_BACKEND_POP = "backend_pop"
+#: the host SCIF syscall itself (handler + its pre/post cost hooks).
+SPAN_HOST_CALL = "host_call"
+#: completion record pushed onto the used ring.
+SPAN_COMPLETION_PUSH = "completion_push"
+#: virtual interrupt delivered and the guest ISR drained the completion.
+SPAN_IRQ_DELIVER = "irq_deliver"
+#: the parked caller woke and claimed its response (wait-scheme exit).
+SPAN_GUEST_WAKE = "guest_wake"
+#: kernel->user copy out of the bounce chunks (3ii).
+SPAN_COPY_OUT = "copy_out"
+#: response demux + syscall return to user space.
+SPAN_GUEST_RETURN = "guest_return"
+#: recovery only: exponential backoff before a transient-fault retry.
+SPAN_RETRY_BACKOFF = "retry_backoff"
+#: recovery only: parked on the session rebuild after an epoch fence.
+SPAN_SESSION_WAIT = "session_wait"
+
+#: canonical rendering/sort order for all phases (recovery phases sort
+#: where they occur: between a completion and the re-post).
+SPAN_PHASE_ORDER = (
+    SPAN_MARSHAL, SPAN_COPY_IN, SPAN_POST, SPAN_KICK, SPAN_RING,
+    SPAN_CREDIT_WAIT, SPAN_BACKEND_POP, SPAN_HOST_CALL,
+    SPAN_COMPLETION_PUSH, SPAN_IRQ_DELIVER, SPAN_GUEST_WAKE,
+    SPAN_RETRY_BACKOFF, SPAN_SESSION_WAIT, SPAN_COPY_OUT,
+    SPAN_GUEST_RETURN,
+)
 
 
 class _Required:
@@ -195,6 +261,36 @@ class OpSpec:
         """Frontend: completions dropped because their epoch predated a
         session fence (card reset / backend restart)."""
         return f"vphi.op.{self.op_name}.stale_dropped"
+
+    # ------------------------------------------------------------------
+    # span hooks: every layer opens/stamps request-lifecycle spans
+    # through the spec, so the phase vocabulary and the per-op phase
+    # sequence are declared exactly once (here).
+    # ------------------------------------------------------------------
+    def begin_span(self, tracer, vm: str = ""):
+        """Open this op's request-lifecycle span (None when the tracer
+        has spans disabled)."""
+        return tracer.new_span(self.op_name, vm=vm)
+
+    @property
+    def span_phases(self) -> tuple[str, ...]:
+        """The fault-free phase sequence this op's spans stamp, derived
+        from the declaration: payload directions add the copy phases,
+        pool eligibility adds the credit wait (skipped on blocking
+        dispatch — a run stamps a *subsequence* of this, in this order;
+        only the recovery phases may repeat out of it)."""
+        phases = [SPAN_MARSHAL]
+        if self.carries_out:
+            phases.append(SPAN_COPY_IN)
+        phases += [SPAN_POST, SPAN_KICK, SPAN_RING]
+        if self.rides_pool:
+            phases.append(SPAN_CREDIT_WAIT)
+        phases += [SPAN_BACKEND_POP, SPAN_HOST_CALL, SPAN_COMPLETION_PUSH,
+                   SPAN_IRQ_DELIVER, SPAN_GUEST_WAKE]
+        if self.carries_in:
+            phases.append(SPAN_COPY_OUT)
+        phases.append(SPAN_GUEST_RETURN)
+        return tuple(phases)
 
     # ------------------------------------------------------------------
     def marshal(self, call_args: dict) -> dict:

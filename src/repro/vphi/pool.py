@@ -38,7 +38,7 @@ from ..analysis.calibration import VPHI_COSTS, VPhiCosts
 from ..scif import ScifError
 from ..scif.errors import ECONNRESET
 from ..sim import Channel, ChannelClosed, Event, Interrupted, Simulator
-from .ops import OpSpec
+from .ops import SPAN_CREDIT_WAIT, SPAN_RING, OpSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..virtio import VirtqueueElement
@@ -216,7 +216,12 @@ class WorkerPool:
             # completing the request overwrites elem.header with the
             # response record; remember the handle for the audit trail.
             handle = elem.header.handle
+            tag = elem.header.tag
             self._current[idx] = elem
+            # shard pickup ends the chain's ring/queue residency; the
+            # gap to the next mark is the machine-wide credit wait.
+            tracer = self.backend.tracer
+            tracer.mark_tag(tag, SPAN_RING)
             try:
                 t0 = self.sim.now
                 credit = self.arbiter.acquire(vm)
@@ -226,6 +231,7 @@ class WorkerPool:
                     self.arbiter.cancel(vm, credit)
                     raise
                 self.credit_wait += self.sim.now - t0
+                tracer.mark_tag(tag, SPAN_CREDIT_WAIT)
                 t1 = self.sim.now
                 try:
                     yield from self.backend._service(elem, worker=idx)

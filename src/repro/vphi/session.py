@@ -303,7 +303,11 @@ class SessionManager:
         if self.state == RECOVERING:
             self.queued_submits += 1
             self.tracer.count("vphi.session.queued")
+        t0 = self.sim.now
         yield from self.await_active()
+        # degraded-mode submit latency: how long queued submits sat out
+        # the rebuild (histogram — the tail is the interesting part).
+        self.tracer.observe("vphi.session.gate_wait", self.sim.now - t0)
 
     def await_active(self):
         """Process: park until the session is ACTIVE (raise if BROKEN)."""

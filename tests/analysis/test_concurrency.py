@@ -1,0 +1,67 @@
+"""Concurrency accounting: windowed occupancy via snapshots.
+
+The historical bug: ``concurrency_stats(vm, elapsed=sub_window)`` divided
+the *run-total* paused time by the caller's sub-window, inflating
+event-loop occupancy (silently masked by the ``min(..., 1.0)`` clamp).
+The snapshot API measures a window by differencing counters captured at
+its boundaries instead.
+"""
+
+import pytest
+
+from repro import Machine
+from repro.analysis import concurrency_snapshot, concurrency_stats
+from repro.workloads import ClientContext, sendrecv_latency
+
+
+@pytest.fixture(scope="module")
+def two_window_run():
+    """One blocking-dispatch VM, two workload bursts with a snapshot
+    taken at the boundary between them."""
+    machine = Machine(cards=1).boot()
+    vm = machine.create_vm("vm0")
+    sendrecv_latency(machine, ClientContext.guest(vm), [1, 1024])
+    snap = concurrency_snapshot(vm)
+    sendrecv_latency(machine, ClientContext.guest(vm), [1, 1024, 65536])
+    return machine, vm, snap
+
+
+def test_snapshot_window_counts_only_its_own_pauses(two_window_run):
+    machine, vm, snap = two_window_run
+    whole = concurrency_stats(vm)
+    window = concurrency_stats(vm, since=snap)
+
+    assert window.elapsed == pytest.approx(machine.sim.now - snap.time)
+    # both windows saw blocking pauses...
+    assert snap.paused_seconds > 0
+    assert window.event_loop_occupancy > 0
+    # ...and the decomposition is exact: first-window paused time plus
+    # the second window's share reconstructs the whole-run total.
+    paused_window = window.event_loop_occupancy * window.elapsed
+    paused_whole = whole.event_loop_occupancy * whole.elapsed
+    assert snap.paused_seconds + paused_window == pytest.approx(paused_whole)
+
+
+def test_legacy_elapsed_rescaling_overstates_the_window(two_window_run):
+    """The exact bug the snapshot API fixes, pinned: passing a bare
+    sub-window ``elapsed`` divides run-total paused time by it."""
+    machine, vm, snap = two_window_run
+    window = concurrency_stats(vm, since=snap)
+    legacy = concurrency_stats(vm, elapsed=window.elapsed)
+    assert legacy.event_loop_occupancy > window.event_loop_occupancy
+
+
+def test_snapshot_for_wrong_vm_rejected(two_window_run):
+    machine, vm, snap = two_window_run
+    other = machine.create_vm("vm-other")
+    with pytest.raises(ValueError, match="vm0"):
+        concurrency_stats(other, since=snap)
+
+
+def test_whole_run_defaults_unchanged(two_window_run):
+    """No-argument behaviour is the historical one: whole-run window."""
+    machine, vm, snap = two_window_run
+    whole = concurrency_stats(vm)
+    assert whole.elapsed == pytest.approx(machine.sim.now)
+    assert 0 < whole.event_loop_occupancy <= 1.0
+    assert not whole.pooled

@@ -1,0 +1,136 @@
+"""Unit coverage for the span analysis helpers (no machine required)."""
+
+from repro.analysis import (
+    check_span_invariants,
+    render_span_breakdown,
+    span_breakdown,
+    validate_chrome_trace,
+)
+from repro.analysis.spans import OpSpanBreakdown
+from repro.sim import Tracer
+
+
+def make_span(t, op, start, marks, status="ok", tag=None):
+    span = t.new_span(op, vm="vm0")
+    span.start = start
+    for phase, at in marks:
+        span.mark(phase, at)
+    if tag is not None:
+        t.bind_span(tag, span)
+    t.end_span(span, status)
+    return span
+
+
+def clocked():
+    t = Tracer()
+    t.bind_clock(lambda: 0.0)
+    return t
+
+
+def test_span_breakdown_aggregates_by_op_and_status():
+    t = clocked()
+    make_span(t, "send", 0.0, [("marshal", 1.0), ("ring", 3.0)])
+    make_span(t, "send", 10.0, [("marshal", 12.0), ("ring", 13.0)])
+    make_span(t, "recv", 0.0, [("marshal", 0.5)], status="error")
+
+    bd = span_breakdown(t)
+    assert set(bd) == {"send", "recv"}
+    send = bd["send"]
+    assert send.count == 2
+    assert send.total == 6.0
+    assert send.mean == 3.0
+    assert send.phases == {"marshal": 3.0, "ring": 3.0}
+    assert send.statuses == {"ok": 2}
+    assert bd["recv"].statuses == {"error": 1}
+    # filters
+    assert set(span_breakdown(t, ops=["send"])) == {"send"}
+    assert set(span_breakdown(t, statuses=["error"])) == {"recv"}
+
+
+def test_breakdown_phase_helpers():
+    bd = OpSpanBreakdown("send", count=2, total=4.0,
+                         phases={"ring": 1.0, "marshal": 2.0, "weird": 1.0})
+    assert bd.phase_share("ring") == 0.25
+    assert bd.phase_share("missing") == 0.0
+    ordered = [p for p, _ in bd.ordered_phases()]
+    # canonical datapath order first, unknown extras last
+    assert ordered == ["marshal", "ring", "weird"]
+
+
+def test_render_span_breakdown_empty_and_populated():
+    assert "(no spans recorded)" in render_span_breakdown({})
+    t = clocked()
+    make_span(t, "send", 0.0, [("marshal", 1.0)])
+    text = render_span_breakdown(span_breakdown(t))
+    assert "send" in text and "marshal" in text and "100.0%" in text
+
+
+def test_invariants_pass_on_clean_spans():
+    t = clocked()
+    make_span(t, "send", 0.0, [("marshal", 1.0), ("ring", 2.0)], tag=1)
+    assert check_span_invariants(t) == []
+
+
+def test_invariants_catch_markless_and_statusless_spans():
+    t = clocked()
+    span = t.new_span("send")
+    span.status = "ok"  # bypass end_span: a hand-rolled broken record
+    t.spans.append(span)
+    problems = check_span_invariants(t)
+    assert any("no phase marks" in p for p in problems)
+
+    t2 = clocked()
+    s2 = t2.new_span("recv")
+    s2.mark("marshal", 1.0)
+    t2.spans.append(s2)  # stored but never ended
+    assert any("no status" in p for p in check_span_invariants(t2))
+
+
+def test_invariants_catch_leaked_open_spans():
+    t = clocked()
+    t.bind_span(7, t.new_span("send"))
+    problems = check_span_invariants(t)
+    assert any("still open" in p for p in problems)
+    assert check_span_invariants(t, require_closed=False) == []
+
+
+def test_invariants_catch_telescoping_gaps():
+    t = clocked()
+    span = make_span(t, "send", 0.0, [("marshal", 1.0)])
+    # corrupt the record after the fact: elapsed no longer matches
+    span.marks.append(("ring", 0.5))  # non-monotone AND breaks the sum
+    problems = check_span_invariants(t)
+    assert any("precedes" in p for p in problems)
+
+
+def test_validate_chrome_trace_accepts_good_doc():
+    doc = {
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "vm0"}},
+            {"name": "send", "ph": "X", "pid": 1, "tid": 3,
+             "ts": 0.0, "dur": 5.0, "args": {"status": "ok"}},
+        ],
+        "displayTimeUnit": "ms",
+    }
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validate_chrome_trace_rejects_malformed_docs():
+    assert validate_chrome_trace([]) == ["document is list, expected object"]
+    assert validate_chrome_trace({}) == ["missing traceEvents array"]
+    bad = {
+        "traceEvents": [
+            "nope",
+            {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": -1.0, "dur": 1.0},
+            {"name": "x", "ph": "X", "pid": "one", "tid": 1, "ts": 0.0, "dur": 0.0},
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0},
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("not an object" in p for p in problems)
+    assert any("unsupported phase" in p for p in problems)
+    assert any("ts must be a non-negative number" in p for p in problems)
+    assert any("pid must be an integer" in p for p in problems)
+    assert any("missing 'dur'" in p for p in problems)

@@ -182,26 +182,41 @@ def test_send_on_unconnected_raises(machine):
     assert p.value is True
 
 
-def test_zero_length_send_rejected(machine):
+def test_zero_length_send_recv_return_zero(machine):
+    """scif_send/recv with len 0 complete immediately: 0 bytes, no wire
+    traffic, no payload enqueued for the peer (Linux semantics)."""
     card_node, slib, clib = connect_pair(machine)
 
     def server():
         ep = yield from slib.open()
         yield from slib.bind(ep, PORT)
         yield from slib.listen(ep)
-        yield from slib.accept(ep)
+        conn, _ = yield from slib.accept(ep)
+        yield from slib.send(conn, b"done")
 
     def client():
         ep = yield from clib.open()
         yield from clib.connect(ep, (card_node, PORT))
+        t0 = machine.sim.now
+        n = yield from clib.send(ep, b"")
+        assert n == 0
+        empty = yield from clib.recv(ep, 0)
+        assert len(empty) == 0
+        # neither zero-length op streamed payload or waited on the peer
+        assert machine.sim.now - t0 < 1e-5
         with pytest.raises(EINVAL):
-            yield from clib.send(ep, b"")
-        return True
+            yield from clib.recv(ep, -1)
+        resp = yield from clib.recv(ep, 4)
+        return ep, resp.tobytes()
 
     machine.sim.spawn(server())
     c = machine.sim.spawn(client())
     machine.run()
-    assert c.value is True
+    ep, resp = c.value
+    # the zero-length send left nothing in the peer's receive queue:
+    # the only real message crossed the wire untouched.
+    assert resp == b"done"
+    assert ep.bytes_sent == 0
 
 
 def test_latency_grows_with_payload(machine):

@@ -430,6 +430,26 @@ class TestDomain:
         sim.run()
         assert dom.paused_time == pytest.approx(5.0)
 
+    def test_paused_seconds_counts_the_open_pause(self):
+        """paused_time only settles at resume; paused_seconds includes
+        the pause still open right now (windowed accounting needs it)."""
+        sim = Simulator()
+        dom = sim.domain()
+        seen = {}
+
+        def host():
+            dom.pause()
+            yield sim.timeout(2.0)
+            seen["mid"] = (dom.paused_time, dom.paused_seconds)
+            yield sim.timeout(1.0)
+            dom.resume()
+            seen["after"] = (dom.paused_time, dom.paused_seconds)
+
+        sim.spawn(host())
+        sim.run()
+        assert seen["mid"] == (0.0, pytest.approx(2.0))
+        assert seen["after"] == (pytest.approx(3.0), pytest.approx(3.0))
+
     def test_interrupt_deferred_while_paused(self):
         sim = Simulator()
         dom = sim.domain()

@@ -1,8 +1,9 @@
-"""Tracer: counters, accumulators, stats, record filtering."""
+"""Tracer: counters, accumulators, stats, records, histograms, spans."""
 
 import pytest
 
-from repro.sim import LatencyStat, Simulator, Tracer
+from repro.sim import LatencyStat, SimError, Simulator, Span, Tracer
+from repro.sim.trace import DROPPED_RECORDS_KEY, DROPPED_SPANS_KEY
 
 
 def test_counters_always_on():
@@ -13,7 +14,7 @@ def test_counters_always_on():
     assert t.counters["cat.a"] == 2
     assert t.counters["cat.b"] == 1
     # records not kept unless enabled
-    assert t.records == []
+    assert len(t.records) == 0
 
 
 def test_enable_records_category():
@@ -35,6 +36,26 @@ def test_record_all_mode():
     t = Tracer(record_all=True)
     t.emit("anything", "x")
     assert len(t.records) == 1
+
+
+def test_records_ring_buffer_caps_and_counts_drops():
+    t = Tracer(record_all=True, max_records=4)
+    for i in range(10):
+        t.emit("soak", f"m{i}")
+    assert len(t.records) == 4
+    # the newest records survive, the oldest were dropped
+    assert [r.message for r in t.records] == ["m6", "m7", "m8", "m9"]
+    assert t.dropped_records == 6
+    assert t.counters[DROPPED_RECORDS_KEY] == 6
+    # the emit counter still saw every event
+    assert t.counters["soak"] == 10
+
+
+def test_records_uncapped_when_requested():
+    t = Tracer(record_all=True, max_records=None)
+    for i in range(100):
+        t.emit("x", str(i))
+    assert len(t.records) == 100 and t.dropped_records == 0
 
 
 def test_clock_binding():
@@ -69,13 +90,53 @@ def test_latency_stat_empty_mean():
     assert LatencyStat("x").mean == 0.0
 
 
+def test_latency_stat_empty_renders_dashes():
+    s = LatencyStat("empty")
+    text = repr(s)
+    assert "n=0" in text
+    assert "inf" not in text  # never leak min=inf / max=-inf
+    assert "mean=-" in text and "min=-" in text and "max=-" in text
+    assert s.percentile(99) == 0.0
+
+
+def test_latency_stat_percentiles():
+    s = LatencyStat("lat")
+    for v in range(1, 101):  # 1..100 us
+        s.add(v * 1e-6)
+    assert s.p50 == pytest.approx(50e-6, rel=0.30)
+    assert s.p95 == pytest.approx(95e-6, rel=0.30)
+    assert s.p99 == pytest.approx(99e-6, rel=0.30)
+    # percentiles clamp to the exact observed extremes
+    assert s.min <= s.percentile(0.1) <= s.percentile(99.9) <= s.max
+    assert s.percentile(100) == s.max
+    with pytest.raises(ValueError):
+        s.percentile(101)
+
+
+def test_latency_stat_percentile_single_value():
+    s = LatencyStat("one")
+    s.add(7e-6)
+    for q in (1, 50, 99):
+        assert s.percentile(q) == pytest.approx(7e-6)
+
+
+def test_latency_stat_zero_values_bucketed():
+    s = LatencyStat("z")
+    s.add(0.0)
+    s.add(0.0)
+    s.add(1e-3)
+    assert s.zeros == 2
+    assert s.percentile(50) == 0.0
+    assert s.percentile(99) == pytest.approx(1e-3)
+
+
 def test_find_and_reset():
     t = Tracer(record_all=True)
     t.emit("a", "1")
     t.emit("b", "2")
     assert len(t.find("a")) == 1
     t.reset()
-    assert t.records == [] and not t.counters and not t.accumulators
+    assert len(t.records) == 0 and not t.counters and not t.accumulators
 
 
 def test_summary_renders():
@@ -85,3 +146,152 @@ def test_summary_renders():
     s = t.summary()
     assert "ops: 5" in s
     assert "time" in s
+
+
+def test_summary_category_filter_applies_to_accumulators():
+    t = Tracer()
+    t.count("keep.ops", 2)
+    t.count("drop.ops", 3)
+    t.accumulate("keep.ops", 1.0)
+    t.accumulate("drop.time", 9.0)
+    s = t.summary(categories=["keep.ops"])
+    assert "keep.ops" in s
+    assert "drop.ops" not in s
+    assert "drop.time" not in s  # the filter reaches the accumulators too
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def _clocked_tracer():
+    sim = Simulator()
+    t = Tracer()
+    t.bind_clock(lambda: sim.now)
+    return sim, t
+
+
+def test_span_phase_durations_telescope():
+    span = Span("send", start=1.0)
+    span.mark("a", 1.5)
+    span.mark("b", 1.5)   # zero-duration phases are fine
+    span.mark("c", 2.25)
+    assert span.elapsed == pytest.approx(1.25)
+    d = span.phase_durations()
+    assert d == {"a": 0.5, "b": 0.0, "c": 0.75}
+    assert sum(d.values()) == span.elapsed  # exact, not approx
+
+
+def test_span_repeated_phase_accumulates():
+    span = Span("rma", start=0.0)
+    span.mark("retry", 1.0)
+    span.mark("post", 1.5)
+    span.mark("retry", 3.0)
+    assert span.phase_durations()["retry"] == pytest.approx(2.5)
+
+
+def test_span_marks_must_be_monotone():
+    span = Span("send", start=5.0)
+    span.mark("a", 6.0)
+    with pytest.raises(SimError):
+        span.mark("b", 5.5)
+    with pytest.raises(SimError):
+        Span("x", start=2.0).mark("a", 1.0)
+
+
+def test_tracer_span_lifecycle_and_tag_binding():
+    sim, t = _clocked_tracer()
+    span = t.new_span("send", vm="vm0")
+    t.bind_span(7, span)
+    assert t.span_for(7) is span
+    t.mark_tag(7, "posted")
+    t.mark_tag(99, "nobody")  # unknown tags are ignored
+    # a retry renews the tag; both correlate to the same span
+    t.bind_span(8, span)
+    assert span.tags == [7, 8]
+    assert t.span_for(8) is span
+    t.end_span(span, "ok")
+    assert span.closed and span.status == "ok"
+    assert t.span_for(7) is None and t.span_for(8) is None
+    assert list(t.spans) == [span]
+    # ending twice keeps the first status and does not double-store
+    t.end_span(span, "error")
+    assert span.status == "ok" and len(t.spans) == 1
+
+
+def test_tracer_mark_skips_closed_spans():
+    sim, t = _clocked_tracer()
+    span = t.new_span("send")
+    t.end_span(span, "ok")
+    t.mark(span, "late")
+    assert span.marks == []
+
+
+def test_tracer_spans_disabled_is_nullop():
+    t = Tracer(record_spans=False)
+    assert t.new_span("send") is None
+    t.bind_span(1, None)
+    t.mark(None, "x")
+    t.end_span(None)
+    assert len(t.spans) == 0 and not t.active_spans
+
+
+def test_tracer_span_buffer_caps_and_counts_drops():
+    sim, t = _clocked_tracer()
+    t.spans = type(t.spans)(maxlen=2)
+    for i in range(5):
+        t.end_span(t.new_span(f"op{i}"), "ok")
+    assert [s.op for s in t.spans] == ["op3", "op4"]
+    assert t.dropped_spans == 3
+    assert t.counters[DROPPED_SPANS_KEY] == 3
+
+
+def test_export_chrome_trace_shape():
+    sim, t = _clocked_tracer()
+
+    def work():
+        span = t.new_span("send", vm="vm0")
+        t.bind_span(1, span)
+        yield sim.timeout(1e-6)
+        t.mark(span, "post")
+        yield sim.timeout(2e-6)
+        t.mark(span, "wait")
+        t.end_span(span, "ok")
+
+    sim.spawn(work())
+    sim.run()
+    doc = t.export_chrome_trace()
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    assert meta[0]["args"]["name"] == "vm0"
+    # one enclosing event + one per phase segment
+    assert len(xs) == 3
+    enclosing = xs[0]
+    assert enclosing["name"] == "send"
+    assert enclosing["dur"] == pytest.approx(3.0)  # microseconds
+    assert sum(e["dur"] for e in xs[1:]) == pytest.approx(enclosing["dur"])
+    # every X event is well-formed
+    for e in xs:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+
+
+def test_export_chrome_trace_include_open():
+    sim, t = _clocked_tracer()
+    span = t.new_span("poll", vm="vm1")
+    t.bind_span(3, span)
+    assert all(e["ph"] == "M" or e["args"].get("status") != "open"
+               for e in t.export_chrome_trace()["traceEvents"])
+    doc = t.export_chrome_trace(include_open=True)
+    open_events = [e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e["args"].get("status") == "open"]
+    assert len(open_events) == 1
+
+
+def test_reset_clears_spans():
+    sim, t = _clocked_tracer()
+    t.bind_span(1, t.new_span("send"))
+    t.end_span(t.new_span("recv"), "ok")
+    t.reset()
+    assert not t.active_spans and len(t.spans) == 0
+    assert t.dropped_spans == 0 and t.dropped_records == 0

@@ -49,6 +49,23 @@ def test_stream(capsys):
     assert "triad_gbps" in out
 
 
+def test_trace_exports_valid_chrome_json(tmp_path, capsys):
+    import json
+
+    from repro.analysis import validate_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "--sizes", "1,1024", "--out", str(out_path),
+                 "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+    assert "request lifecycle" in out
+    assert "span invariants hold" in out
+    doc = json.loads(out_path.read_text())
+    assert validate_chrome_trace(doc) == []
+    assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["warp"])

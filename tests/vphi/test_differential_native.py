@@ -195,6 +195,31 @@ def connect_echo(side, machine):
     return tuple(obs)
 
 
+@scenario(VPhiOp.SEND, VPhiOp.RECV)
+def zero_length_messaging(side, machine):
+    """Zero-byte send/recv: 0 returned, nothing crosses beyond the header.
+
+    Native scif_send/recv with len 0 complete immediately with 0 bytes
+    and leave the peer's receive queue untouched; the forwarded path
+    must match (the regression was one side rejecting with EINVAL while
+    the other silently succeeded)."""
+    card_node = machine.card_node_id(0)
+    card_echo_server(machine, PORT, nbytes=4)
+    obs = []
+    ep = yield from side.lib.open()
+    yield from side.lib.connect(ep, (card_node, PORT))
+    n0 = yield from side.lib.send(ep, b"")
+    empty = yield from side.lib.recv(ep, 0)
+    obs.append((n0, len(empty)))
+    # the server is still waiting on its 4 real bytes: the zero-length
+    # send fed it nothing.  Only this payload reaches it.
+    n = yield from side.lib.send(ep, b"wxyz")
+    echo = yield from side.lib.recv(ep, 4)
+    obs.append((n, echo.tobytes()))
+    yield from side.lib.close(ep)
+    return tuple(obs)
+
+
 @scenario(VPhiOp.REGISTER, VPhiOp.UNREGISTER, VPhiOp.READFROM, VPhiOp.WRITETO,
           VPhiOp.FENCE_MARK, VPhiOp.FENCE_WAIT)
 def rma_window(side, machine):
