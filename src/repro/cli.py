@@ -6,6 +6,7 @@
     python -m repro dgemm --n 2000 --threads 112 [--vm]
     python -m repro stream --n 20000000 --iters 10 [--vm]
     python -m repro trace [--out vphi_trace.json] [--check]
+    python -m repro profile fig5 [--top 25] [--out fig5.pstats]
 
 Every command builds the paper's testbed (one 3120P), runs the workload
 deterministically, and prints the measured series.
@@ -149,6 +150,45 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+#: scenarios ``profile`` can drive: name -> zero-arg runner factory.
+#: Each runs one figure's full deterministic workload (the same code
+#: path the benchmark gates measure), so the profile reflects the real
+#: hot path, not a synthetic loop.
+def _profile_scenarios():
+    from .analysis import fig4_latency, fig5_throughput
+
+    return {
+        "fig4": lambda sizes: fig4_latency(sizes),
+        "fig5": lambda sizes: fig5_throughput(sizes),
+    }
+
+
+def _cmd_profile(args) -> int:
+    """Profile one figure scenario under cProfile.
+
+    Prints the top functions (``--sort tottime`` by default — the
+    optimization discipline here is "attack the measured top of the
+    profile") and optionally dumps the raw stats for snakeviz/pstats
+    (``--out``).
+    """
+    import cProfile
+    import pstats
+
+    scenarios = _profile_scenarios()
+    runner = scenarios[args.scenario]
+    sizes = _parse_sizes(args.sizes) if args.sizes else None
+    prof = cProfile.Profile()
+    prof.enable()
+    runner(sizes)
+    prof.disable()
+    if args.out:
+        prof.dump_stats(args.out)
+        print(f"wrote raw profile to {args.out}")
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -194,6 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify span invariants and trace-event schema; exit 1 on violation",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile", help="run one figure scenario under cProfile"
+    )
+    p.add_argument("scenario", choices=["fig4", "fig5"],
+                   help="which figure's workload to profile")
+    p.add_argument("--sizes", help="comma-separated byte sizes")
+    p.add_argument("--top", type=int, default=25,
+                   help="number of functions to print (default 25)")
+    p.add_argument("--sort", default="tottime",
+                   choices=["tottime", "cumulative", "calls"],
+                   help="pstats sort order (default tottime)")
+    p.add_argument("--out", help="dump raw .pstats data to this path")
+    p.set_defaults(fn=_cmd_profile)
 
     return parser
 

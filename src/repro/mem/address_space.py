@@ -277,10 +277,9 @@ class AddressSpace:
         out = np.empty(nbytes, dtype=np.uint8)
         off = 0
         while off < nbytes:
-            mem, paddr = self.translate(vaddr + off)
-            n = min(PAGE_SIZE - page_offset(vaddr + off), nbytes - off)
-            out[off : off + n] = mem.read(paddr, n)
-            off += n
+            mem, paddr, run = self._contiguous_run(vaddr + off, nbytes - off)
+            mem.read_into(paddr, out[off : off + run])
+            off += run
         return out
 
     def write(self, vaddr: int, data: np.ndarray | bytes) -> None:
@@ -289,10 +288,27 @@ class AddressSpace:
         nbytes = len(data)
         off = 0
         while off < nbytes:
-            mem, paddr = self.translate(vaddr + off)
-            n = min(PAGE_SIZE - page_offset(vaddr + off), nbytes - off)
-            mem.write(paddr, data[off : off + n])
-            off += n
+            mem, paddr, run = self._contiguous_run(vaddr + off, nbytes - off)
+            mem.write(paddr, data[off : off + run])
+            off += run
+
+    def _contiguous_run(self, vaddr: int, nbytes: int) -> tuple[PhysicalMemory, int, int]:
+        """Translate ``vaddr`` and extend across physically contiguous pages.
+
+        Returns ``(mem, paddr, run)`` where ``run <= nbytes`` covers every
+        consecutive page whose translation stays contiguous in ``mem`` —
+        populated VMAs collapse to a single memory op instead of one per
+        4 KiB page.  Pages are faulted in the same sequential order the
+        page-at-a-time loop used.
+        """
+        mem, paddr = self.translate(vaddr)
+        run = min(PAGE_SIZE - page_offset(vaddr), nbytes)
+        while run < nbytes:
+            m2, p2 = self.translate(vaddr + run)
+            if m2 is not mem or p2 != paddr + run:
+                break
+            run += min(PAGE_SIZE, nbytes - run)
+        return mem, paddr, run
 
     # ------------------------------------------------------------------
     # scatter-gather resolution (the DMA view of a user buffer)

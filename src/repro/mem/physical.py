@@ -67,6 +67,17 @@ class PhysExtent:
         self._check(off, nbytes)
         return self.mem.read(self.addr + off, nbytes)
 
+    def read_into(self, out: np.ndarray, off: int = 0) -> None:
+        """Copy extent bytes directly into ``out`` (a uint8 array or view)."""
+        self._check(off, len(out))
+        self.mem.read_into(self.addr + off, out)
+
+    def iter_views(self, off: int = 0, nbytes: Optional[int] = None):
+        """Yield ``(offset, chunk_view)`` pairs covering the range, zero-copy."""
+        nbytes = self.nbytes - off if nbytes is None else nbytes
+        self._check(off, nbytes)
+        return self.mem.iter_views(self.addr + off, nbytes)
+
     def write(self, data: np.ndarray | bytes, off: int = 0) -> None:
         data = np.asarray(bytearray(data), dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data
         self._check(off, len(data))
@@ -207,16 +218,64 @@ class PhysicalMemory:
             yield self._chunk(ci), co, co + n, off
             off += n
 
+    def _resolve(self, addr: int) -> tuple["PhysicalMemory", int]:
+        """Flatten a nested address to (root memory, root address).
+
+        Walks the parent chain once instead of recursing through each
+        level's read/write; liveness of every intermediate extent is still
+        enforced so use-after-free of a carved region keeps raising.
+        """
+        mem: PhysicalMemory = self
+        while mem.parent is not None:
+            ext = mem.parent
+            if ext._freed:
+                raise BadAddress(
+                    f"use-after-free of extent {ext.label!r}@{ext.addr:#x}"
+                )
+            addr += ext.addr
+            mem = ext.mem
+        return mem, addr
+
     def read(self, addr: int, nbytes: int) -> np.ndarray:
         """Copy ``nbytes`` out as a fresh uint8 array."""
-        if self.parent is not None:
-            self._bounds(addr, nbytes)
-            return self.parent.read(addr, nbytes)
         self._bounds(addr, nbytes)
+        mem = self
+        if self.parent is not None:
+            mem, addr = self._resolve(addr)
+        ci, co = divmod(addr, CHUNK_SIZE)
+        if co + nbytes <= CHUNK_SIZE:
+            return mem._chunk(ci)[co : co + nbytes].copy()
         out = np.empty(nbytes, dtype=np.uint8)
-        for chunk, lo, hi, doff in self._spans(addr, nbytes):
+        for chunk, lo, hi, doff in mem._spans(addr, nbytes):
             out[doff : doff + (hi - lo)] = chunk[lo:hi]
         return out
+
+    def read_into(self, addr: int, out: np.ndarray) -> None:
+        """Copy ``len(out)`` bytes directly into ``out`` — one copy, no temp."""
+        nbytes = len(out)
+        self._bounds(addr, nbytes)
+        mem = self
+        if self.parent is not None:
+            mem, addr = self._resolve(addr)
+        ci, co = divmod(addr, CHUNK_SIZE)
+        if co + nbytes <= CHUNK_SIZE:
+            out[:] = mem._chunk(ci)[co : co + nbytes]
+            return
+        for chunk, lo, hi, doff in mem._spans(addr, nbytes):
+            out[doff : doff + (hi - lo)] = chunk[lo:hi]
+
+    def iter_views(self, addr: int, nbytes: int) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(offset, chunk_view)`` pairs covering the range.
+
+        The views alias live backing storage — callers must consume (copy)
+        each one before the next simulated write can touch the range.
+        """
+        self._bounds(addr, nbytes)
+        mem = self
+        if self.parent is not None:
+            mem, addr = self._resolve(addr)
+        for chunk, lo, hi, doff in mem._spans(addr, nbytes):
+            yield doff, chunk[lo:hi]
 
     def write(self, addr: int, data: np.ndarray | bytes) -> None:
         if isinstance(data, (bytes, bytearray, memoryview)):
@@ -224,21 +283,34 @@ class PhysicalMemory:
         if data.dtype != np.uint8:
             data = data.view(np.uint8) if data.flags["C_CONTIGUOUS"] else np.ascontiguousarray(data).view(np.uint8)
         n = len(data)
-        if self.parent is not None:
-            self._bounds(addr, n)
-            self.parent.write(data, off=addr)
-            return
         self._bounds(addr, n)
-        for chunk, lo, hi, doff in self._spans(addr, n):
-            chunk[lo:hi] = data[doff : doff + (hi - lo)]
+        mem = self
+        if self.parent is not None:
+            mem, addr = self._resolve(addr)
+        chunks = mem._chunks
+        off = 0
+        while off < n:
+            a = addr + off
+            ci, co = divmod(a, CHUNK_SIZE)
+            take = min(CHUNK_SIZE - co, n - off)
+            chunk = chunks.get(ci)
+            if chunk is None:
+                if co == 0 and take == CHUNK_SIZE:
+                    # Whole-chunk overwrite: materialize from the payload
+                    # directly instead of zero-filling first.
+                    chunks[ci] = data[off : off + CHUNK_SIZE].copy()
+                    off += take
+                    continue
+                chunk = chunks[ci] = np.zeros(CHUNK_SIZE, dtype=np.uint8)
+            chunk[co : co + take] = data[off : off + take]
+            off += take
 
     def fill(self, addr: int, nbytes: int, byte: int) -> None:
-        if self.parent is not None:
-            self._bounds(addr, nbytes)
-            self.parent.fill(byte, off=addr, nbytes=nbytes)
-            return
         self._bounds(addr, nbytes)
-        for chunk, lo, hi, _ in self._spans(addr, nbytes):
+        mem = self
+        if self.parent is not None:
+            mem, addr = self._resolve(addr)
+        for chunk, lo, hi, _ in mem._spans(addr, nbytes):
             chunk[lo:hi] = byte
 
     def copy_within(self, dst: int, src: int, nbytes: int) -> None:
@@ -253,8 +325,36 @@ class PhysicalMemory:
         src: int,
         nbytes: int,
     ) -> None:
-        """Copy between two physical memories (the DMA engine's data move)."""
-        dst_mem.write(dst, src_mem.read(src, nbytes))
+        """Copy between two physical memories (the DMA engine's data move).
+
+        Streams chunk views in lockstep — one copy per span instead of a
+        full read into a temporary followed by a full write.  Overlapping
+        same-root ranges fall back to the copy-via-temporary path so the
+        memmove semantics are preserved.
+        """
+        src_mem._bounds(src, nbytes)
+        dst_mem._bounds(dst, nbytes)
+        smem, s = src_mem._resolve(src) if src_mem.parent is not None else (src_mem, src)
+        dmem, d = dst_mem._resolve(dst) if dst_mem.parent is not None else (dst_mem, dst)
+        if smem is dmem and s < d + nbytes and d < s + nbytes:
+            dst_mem.write(dst, src_mem.read(src, nbytes))
+            return
+        dchunks = dmem._chunks
+        off = 0
+        while off < nbytes:
+            sci, sco = divmod(s + off, CHUNK_SIZE)
+            dci, dco = divmod(d + off, CHUNK_SIZE)
+            take = min(CHUNK_SIZE - sco, CHUNK_SIZE - dco, nbytes - off)
+            schunk = smem._chunk(sci)
+            dchunk = dchunks.get(dci)
+            if dchunk is None:
+                if dco == 0 and take == CHUNK_SIZE:
+                    dchunks[dci] = schunk[sco : sco + CHUNK_SIZE].copy()
+                    off += take
+                    continue
+                dchunk = dchunks[dci] = np.zeros(CHUNK_SIZE, dtype=np.uint8)
+            dchunk[dco : dco + take] = schunk[sco : sco + take]
+            off += take
 
     def carve(self, nbytes: int, name: str = "", label: str = "") -> "PhysicalMemory":
         """Allocate an extent and wrap it as a nested PhysicalMemory.

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..analysis.calibration import SCIF_COSTS
-from ..mem import MemError, SGEntry
+from ..mem import MemError, PhysicalMemory, SGEntry
 from ..sim import Resource, Simulator
 from .link import PCIeLink
 
@@ -39,8 +39,7 @@ def sg_copy(dst: Sequence[SGEntry], src: Sequence[SGEntry], nbytes: int | None =
         s = src[si]
         d = dst[di]
         step = min(s.nbytes - soff, d.nbytes - doff, n - copied)
-        chunk = s.mem.read(s.paddr + soff, step)
-        d.mem.write(d.paddr + doff, chunk)
+        PhysicalMemory.copy(d.mem, d.paddr + doff, s.mem, s.paddr + soff, step)
         copied += step
         soff += step
         doff += step

@@ -4,6 +4,7 @@ The substrate every simulated component (card, PCIe, SCIF, virtio, QEMU/KVM,
 vPHI) executes on.  See :mod:`repro.sim.core` for the execution model.
 """
 
+from .calendar import CalendarQueue
 from .core import (
     MS,
     SECOND,
@@ -33,6 +34,7 @@ from .trace import LatencyStat, Span, TraceRecord, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Channel",
     "ChannelClosed",
     "DeadlockError",

@@ -1,0 +1,242 @@
+"""Calendar-queue scheduler for the DES kernel.
+
+The simulator's pending-firing queue was a single binary heap.  Two
+observations about this workload make a calendar structure much faster:
+
+* the overwhelmingly dominant schedule is *zero delay* — ring drains,
+  process starts, event callbacks and deferred resumptions all land at
+  the current instant, so they belong in a plain FIFO **lane**, not a
+  priority structure;
+* real timeouts cluster around the current time (device costs are
+  microseconds), so a bucketed **wheel** over a short horizon gives
+  near-O(1) insert/pop, with a plain heap holding the **far** tail
+  beyond the horizon.
+
+Ordering is *exactly* the heap's: every entry carries ``(when, seq)``
+with a globally monotonic ``seq``, and :meth:`pop` always returns the
+globally smallest ``(when, seq)`` across all three tiers — including
+same-timestamp FIFO tie-breaks.  The property suite drives this queue
+and a reference heap with identical random schedules and asserts the
+firing orders are indistinguishable.
+
+Entries are mutable ``[when, seq, thunk]`` records; cancellation nulls
+the thunk (a lazy-delete tombstone) and the queue compacts itself when
+tombstones outnumber live entries, so abandoned timeouts from
+interrupted waiters cannot grow the queue without bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+__all__ = ["CalendarQueue"]
+
+#: entry layout: [when, seq, thunk-or-None]
+Entry = list
+
+
+class CalendarQueue:
+    """Time-ordered queue of ``(when, seq, thunk)`` firings.
+
+    Three tiers, popped in global ``(when, seq)`` order:
+
+    * ``lane``  — FIFO deque of entries pushed at the current instant
+      (``when <= now`` at push time); append/popleft, no comparisons.
+    * ``wheel`` — ``nbuckets`` mini-heaps of width ``width`` seconds
+      covering ``[base, base + nbuckets*width)``.
+    * ``far``   — one heap for everything beyond the wheel horizon;
+      refills the wheel whenever the nearer tiers drain.
+    """
+
+    __slots__ = ("_lane", "_buckets", "_far", "_nbuckets", "_width",
+                 "_base", "_horizon", "_cur", "_wheel_count", "_seq",
+                 "_live", "tombstones", "compactions",
+                 "compact_threshold")
+
+    def __init__(self, width: float = 4e-6, nbuckets: int = 256,
+                 compact_threshold: int = 64):
+        from collections import deque
+
+        self._lane: deque = deque()
+        self._nbuckets = nbuckets
+        self._buckets: list[list] = [[] for _ in range(nbuckets)]
+        self._far: list = []
+        self._width = width
+        self._base = 0.0
+        self._horizon = nbuckets * width
+        self._cur = 0
+        self._wheel_count = 0
+        self._seq = 0
+        #: live (non-tombstone) entries across all tiers.
+        self._live = 0
+        #: current number of cancelled-but-unreaped entries.
+        self.tombstones = 0
+        #: total compaction passes (observability for the chaos suites).
+        self.compactions = 0
+        self.compact_threshold = compact_threshold
+
+    def __len__(self) -> int:
+        return self._live
+
+    # ------------------------------------------------------------------
+    def push(self, when: float, thunk: Callable[[], None], now: float) -> Entry:
+        """Insert a firing; returns the entry (for :meth:`cancel`)."""
+        seq = self._seq
+        self._seq = seq + 1
+        entry: Entry = [when, seq, thunk]
+        self._live += 1
+        if when == now:
+            # the same-tick fast lane: seq order *is* FIFO order here,
+            # so appending keeps the global (when, seq) invariant
+            self._lane.append(entry)
+        elif when < self._horizon and when >= self._base:
+            i = int((when - self._base) / self._width)
+            if i >= self._nbuckets:  # float edge at the horizon boundary
+                heapq.heappush(self._far, entry)
+            else:
+                heapq.heappush(self._buckets[i], entry)
+                self._wheel_count += 1
+                if i < self._cur:
+                    # the cursor skipped this (then-empty) bucket while
+                    # hunting a later head; rewind so the new earlier
+                    # entry is found first
+                    self._cur = i
+        else:
+            heapq.heappush(self._far, entry)
+        return entry
+
+    def cancel(self, entry: Entry) -> None:
+        """Tombstone one entry (lazy delete); compacts when they pile up."""
+        if entry[2] is None:
+            return
+        entry[2] = None
+        self._live -= 1
+        self.tombstones += 1
+        if (self.tombstones > self.compact_threshold
+                and self.tombstones > self._live):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every tombstone from every tier in one pass."""
+        self.compactions += 1
+        from collections import deque
+
+        self._lane = deque(e for e in self._lane if e[2] is not None)
+        count = 0
+        for i, bucket in enumerate(self._buckets):
+            if bucket:
+                live = [e for e in bucket if e[2] is not None]
+                if len(live) != len(bucket):
+                    heapq.heapify(live)
+                    self._buckets[i] = live
+                count += len(self._buckets[i])
+        self._wheel_count = count
+        far = [e for e in self._far if e[2] is not None]
+        if len(far) != len(self._far):
+            heapq.heapify(far)
+            self._far = far
+        self.tombstones = 0
+
+    # ------------------------------------------------------------------
+    def _wheel_head(self) -> Optional[Entry]:
+        """Smallest live wheel entry, purging dead heads; None if empty."""
+        while self._wheel_count:
+            bucket = self._buckets[self._cur]
+            while bucket:
+                head = bucket[0]
+                if head[2] is None:
+                    heapq.heappop(bucket)
+                    self._wheel_count -= 1
+                    self.tombstones -= 1
+                    continue
+                return head
+            self._cur = (self._cur + 1) % self._nbuckets
+        return None
+
+    def _far_head(self) -> Optional[Entry]:
+        far = self._far
+        while far:
+            head = far[0]
+            if head[2] is None:
+                heapq.heappop(far)
+                self.tombstones -= 1
+                continue
+            return head
+        return None
+
+    def _lane_head(self) -> Optional[Entry]:
+        lane = self._lane
+        while lane:
+            head = lane[0]
+            if head[2] is None:
+                lane.popleft()
+                self.tombstones -= 1
+                continue
+            return head
+        return None
+
+    def _rebase(self, start: float) -> None:
+        """Re-center the empty wheel at ``start`` and refill it from far."""
+        self._base = start
+        self._horizon = start + self._nbuckets * self._width
+        self._cur = 0
+        far = self._far
+        while far:
+            head = far[0]
+            if head[2] is None:
+                heapq.heappop(far)
+                self.tombstones -= 1
+                continue
+            if head[0] >= self._horizon:
+                break
+            heapq.heappop(far)
+            i = int((head[0] - self._base) / self._width)
+            if i >= self._nbuckets:
+                i = self._nbuckets - 1
+            heapq.heappush(self._buckets[i], head)
+            self._wheel_count += 1
+
+    def _head(self) -> Optional[Entry]:
+        """The globally smallest live entry (not removed)."""
+        lane = self._lane_head()
+        wheel = self._wheel_head()
+        if wheel is None:
+            far = self._far_head()
+            if far is not None and (
+                lane is None
+                or far[0] < lane[0]
+                or (far[0] == lane[0] and far[1] < lane[1])
+            ):
+                # wheel drained and the far tail holds the global head:
+                # pull it into a re-centered wheel
+                self._rebase(far[0])
+                wheel = self._wheel_head()
+        best = lane
+        if wheel is not None and (best is None
+                                  or (wheel[0], wheel[1]) < (best[0], best[1])):
+            best = wheel
+        return best
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live firing, or None if the queue is empty."""
+        head = self._head()
+        return None if head is None else head[0]
+
+    def pop(self, limit: Optional[float] = None) -> Optional[Entry]:
+        """Remove and return the next live entry; None if empty or if its
+        time exceeds ``limit``."""
+        head = self._head()
+        if head is None or (limit is not None and head[0] > limit):
+            return None
+        if self._lane and self._lane[0] is head:
+            self._lane.popleft()
+        else:
+            bucket = self._buckets[self._cur]
+            if bucket and bucket[0] is head:
+                heapq.heappop(bucket)
+                self._wheel_count -= 1
+            else:  # pragma: no cover - defensive; _head always places it
+                heapq.heappop(self._far)
+        self._live -= 1
+        return head

@@ -23,10 +23,9 @@ Design points (all load-bearing for the reproduction):
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from .calendar import CalendarQueue
 from .errors import Interrupted, Killed, SimError, StopProcess
 
 __all__ = [
@@ -71,7 +70,8 @@ class Event:
     process resumption) runs with the event's value or exception.
     """
 
-    __slots__ = ("sim", "_value", "_exc", "_triggered", "_fired", "callbacks", "name")
+    __slots__ = ("sim", "_value", "_exc", "_triggered", "_fired", "callbacks",
+                 "name", "_entry")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -81,6 +81,9 @@ class Event:
         self._triggered = False
         self._fired = False
         self.callbacks: list[Callable[["Event"], None]] = []
+        #: the queue entry holding this event's pending firing (set when
+        #: scheduled, cleared on fire; a cancelled entry has a None thunk).
+        self._entry: Optional[list] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -132,6 +135,7 @@ class Event:
         if self._fired:
             return
         self._fired = True
+        self._entry = None
         callbacks, self.callbacks = self.callbacks, []
         for cb in callbacks:
             cb(self)
@@ -144,12 +148,22 @@ class Event:
             self.sim._call_soon(lambda: cb(self))
         else:
             self.callbacks.append(cb)
+            entry = self._entry
+            if entry is not None and entry[2] is None:
+                # the pending firing was cancelled when the last waiter
+                # abandoned it — a new waiter revives it
+                self.sim._revive(self, entry[0])
 
     def _discard_callback(self, cb: Callable[["Event"], None]) -> None:
         try:
             self.callbacks.remove(cb)
         except ValueError:
             pass
+        if (not self.callbacks and isinstance(self, Timeout)
+                and self._entry is not None and not self._fired):
+            # a pure delay nobody waits on anymore: tombstone its queue
+            # entry so interrupted sleepers don't pile up until they expire
+            self.sim._queue.cancel(self._entry)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "fired" if self._fired else ("triggered" if self._triggered else "pending")
@@ -439,8 +453,7 @@ class Simulator:
 
     def __init__(self, trace: Optional["object"] = None):
         self.now: float = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
-        self._seq = itertools.count()
+        self._queue = CalendarQueue()
         self._current: Optional[Process] = None
         self._crashes: list[tuple[Process, BaseException]] = []
         self._observed_crash_events: set[int] = set()
@@ -472,16 +485,21 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event._fire))
+        event._entry = self._queue.push(self.now + delay, event._fire, self.now)
 
     def _call_soon(self, thunk: Callable[[], None]) -> None:
-        heapq.heappush(self._queue, (self.now, next(self._seq), thunk))
+        self._queue.push(self.now, thunk, self.now)
 
     def call_at(self, when: float, thunk: Callable[[], None]) -> None:
         """Run a plain callback at absolute simulated time ``when``."""
         if when < self.now:
             raise SimError(f"call_at({when}) is in the past (now={self.now})")
-        heapq.heappush(self._queue, (when, next(self._seq), thunk))
+        self._queue.push(when, thunk, self.now)
+
+    def _revive(self, event: Event, when: float) -> None:
+        """Re-queue a cancelled-but-revived event firing (see
+        ``Event._add_callback``); past-due firings deliver promptly."""
+        event._entry = self._queue.push(max(when, self.now), event._fire, self.now)
 
     # -- crash bookkeeping ------------------------------------------------
     def _note_crash(self, proc: Process, exc: BaseException) -> None:
@@ -496,34 +514,35 @@ class Simulator:
         impossible.
         """
         queue = self._queue
-        while queue:
-            when, _, thunk = queue[0]
-            if until is not None and when > until:
-                self.now = until
+        pop = queue.pop
+        while True:
+            entry = pop(until)
+            if entry is None:
+                if until is not None and until > self.now:
+                    # stopped on the horizon (or drained short of it)
+                    self.now = until
                 break
-            heapq.heappop(queue)
+            when = entry[0]
             if when > self.now:
                 self.now = when
-            thunk()
-        else:
-            if until is not None and until > self.now:
-                self.now = until
+            entry[2]()
         self.raise_pending_crash()
         return self.now
 
     def step(self) -> bool:
         """Execute a single queued firing.  Returns False if queue empty."""
-        if not self._queue:
+        entry = self._queue.pop()
+        if entry is None:
             return False
-        when, _, thunk = heapq.heappop(self._queue)
+        when = entry[0]
         if when > self.now:
             self.now = when
-        thunk()
+        entry[2]()
         return True
 
     def peek(self) -> Optional[float]:
         """Time of the next queued firing, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._queue.peek()
 
     def raise_pending_crash(self) -> None:
         """Re-raise the first process crash that no other process observed."""

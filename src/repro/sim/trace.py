@@ -271,6 +271,32 @@ class Tracer:
         self.dropped_records = 0
         self.dropped_spans = 0
 
+    # ------------------------------------------------------------------
+    # ring-buffer caps, hoisted: emit/end_span fire on every request, so
+    # "is this ring capped and full" must be one comparison against a
+    # precomputed cap — not a maxlen None-test per call.  A cap of -1
+    # means unbounded (a length never equals it).  The buffers stay
+    # plain attributes to callers; assigning a replacement deque (as the
+    # soak tests do) recomputes the cap through the setter.
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> deque:
+        return self._records
+
+    @records.setter
+    def records(self, ring: deque) -> None:
+        self._records = ring
+        self._records_cap = -1 if ring.maxlen is None else ring.maxlen
+
+    @property
+    def spans(self) -> deque:
+        return self._spans
+
+    @spans.setter
+    def spans(self, ring: deque) -> None:
+        self._spans = ring
+        self._spans_cap = -1 if ring.maxlen is None else ring.maxlen
+
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulator's ``now`` so records carry simulated time."""
         self._clock = clock
@@ -288,11 +314,11 @@ class Tracer:
     def emit(self, category: str, message: str, **fields: Any) -> None:
         self.counters[category] += 1
         if self._record_all or category in self._enabled:
-            if (self.records.maxlen is not None
-                    and len(self.records) == self.records.maxlen):
+            records = self._records
+            if len(records) == self._records_cap:
                 self.dropped_records += 1
                 self.counters[DROPPED_RECORDS_KEY] += 1
-            self.records.append(
+            records.append(
                 TraceRecord(self._clock(), category, message, tuple(fields.items()))
             )
 
@@ -360,11 +386,11 @@ class Tracer:
         for tag in span.tags:
             if self.active_spans.get(tag) is span:
                 del self.active_spans[tag]
-        if (self.spans.maxlen is not None
-                and len(self.spans) == self.spans.maxlen):
+        spans = self._spans
+        if len(spans) == self._spans_cap:
             self.dropped_spans += 1
             self.counters[DROPPED_SPANS_KEY] += 1
-        self.spans.append(span)
+        spans.append(span)
 
     # ------------------------------------------------------------------
     def export_chrome_trace(self, include_open: bool = False) -> dict:

@@ -69,9 +69,27 @@ class BounceBuffers:
             take = min(size, n - off)
             if take <= 0:
                 break
-            out[off : off + take] = ext.read(0, take)
+            ext.read_into(out[off : off + take])
             off += take
         return out
+
+    def scatter_to(self, consume, nbytes: int | None = None) -> int:
+        """Stream chunk contents to ``consume(offset, view)`` without the
+        flat intermediate array :meth:`gather` allocates.
+
+        The views alias live chunk storage; ``consume`` must copy them out
+        before returning.  Returns bytes streamed.
+        """
+        n = self.nbytes if nbytes is None else min(nbytes, self.nbytes)
+        off = 0
+        for ext, size in zip(self.extents, self.sizes):
+            take = min(size, n - off)
+            if take <= 0:
+                break
+            for voff, view in ext.iter_views(0, take):
+                consume(off + voff, view)
+            off += take
+        return off
 
     def free(self) -> None:
         for ext in self.extents:

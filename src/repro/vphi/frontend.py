@@ -73,16 +73,21 @@ class BatchCall:
     args: Optional[dict] = None
     out_data: Optional[np.ndarray] = None
     in_nbytes: int = 0
+    #: optional ``consume(offset, view)`` sink for the device->guest
+    #: payload — the copy-out streams bounce-chunk views straight to the
+    #: consumer instead of gathering a flat array (zero-allocation path
+    #: for bulk RMA reads).  ``in_data`` comes back as None when set.
+    in_sink: Optional[callable] = None
 
 
 class _Prepared:
     """A marshalled request whose bounce chunks are live in guest memory."""
 
     __slots__ = ("spec", "req", "hdr_ext", "out_bb", "in_bb",
-                 "out_descs", "in_descs", "orig_handle", "span")
+                 "out_descs", "in_descs", "orig_handle", "span", "in_sink")
 
     def __init__(self, spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
-                 orig_handle=0, span=None):
+                 orig_handle=0, span=None, in_sink=None):
         self.spec = spec
         self.req = req
         self.hdr_ext = hdr_ext
@@ -98,6 +103,8 @@ class _Prepared:
         #: One span covers the whole request across retries — every tag
         #: it was posted under maps back to it in the tracer.
         self.span = span
+        #: optional streaming consumer for the in-payload (see BatchCall).
+        self.in_sink = in_sink
 
     @property
     def needed_descriptors(self) -> int:
@@ -264,6 +271,7 @@ class VPhiFrontend:
         out_data: Optional[np.ndarray] = None,
         in_nbytes: int = 0,
         segment_args=None,
+        in_sink=None,
     ):
         """Process: forward one SCIF operation to the backend.
 
@@ -293,6 +301,8 @@ class VPhiFrontend:
                     out_data=(out_data[off : off + take]
                               if out_data is not None else None),
                     in_nbytes=take if in_nbytes else 0,
+                    in_sink=(None if in_sink is None else
+                             (lambda o, v, _base=off: in_sink(_base + o, v))),
                 ))
                 off += take
             pairs = yield from self.submit_batch(calls)
@@ -301,7 +311,9 @@ class VPhiFrontend:
             agg = sum(r for r in results if isinstance(r, (int, float)))
             in_data = np.concatenate(gathered) if gathered else None
             return agg, in_data
-        result, data = yield from self._submit_one(op, handle, args, out_data, in_nbytes)
+        result, data = yield from self._submit_one(
+            op, handle, args, out_data, in_nbytes, in_sink=in_sink
+        )
         return result, data
 
     def submit_batch(self, calls: Sequence[BatchCall]):
@@ -330,7 +342,8 @@ class VPhiFrontend:
             unkicked: list[_Prepared] = []
             for call in calls:
                 p = yield from self._prepare(
-                    call.op, call.handle, call.args, call.out_data, call.in_nbytes
+                    call.op, call.handle, call.args, call.out_data,
+                    call.in_nbytes, in_sink=call.in_sink,
                 )
                 prepared.append(p)
                 if self.virtio.ring.num_free < p.needed_descriptors and unkicked:
@@ -387,6 +400,7 @@ class VPhiFrontend:
         out_data: Optional[np.ndarray] = None,
         in_nbytes: int = 0,
         replay: bool = False,
+        in_sink=None,
     ):
         """One ring submission (at most ring-size/2 data descriptors).
 
@@ -397,7 +411,8 @@ class VPhiFrontend:
         """
         t0_req = self.sim.now
         acc = self.tracer.accumulate
-        p = yield from self._prepare(op, handle, args, out_data, in_nbytes)
+        p = yield from self._prepare(op, handle, args, out_data, in_nbytes,
+                                     in_sink=in_sink)
         try:
             yield from self._post_chain(p, replay=replay)
             yield from self._kick([p])
@@ -429,6 +444,7 @@ class VPhiFrontend:
         args: Optional[dict],
         out_data: Optional[np.ndarray],
         in_nbytes: int,
+        in_sink=None,
     ):
         """Marshal one request: header + bounce chunks + user->kernel copy."""
         spec = spec_for(op)
@@ -490,7 +506,7 @@ class VPhiFrontend:
             tag=next(self._tags),
         )
         return _Prepared(spec, req, hdr_ext, out_bb, in_bb, out_descs, in_descs,
-                         orig_handle=handle, span=span)
+                         orig_handle=handle, span=span, in_sink=in_sink)
 
     def _post_chain(self, p: _Prepared, replay: bool = False):
         """Put one prepared chain on the ring, parking on exhaustion.
@@ -663,7 +679,12 @@ class VPhiFrontend:
             yield self.sim.timeout(copy_t)
             self.tracer.accumulate("vphi.phase.copy", copy_t)
             self.tracer.mark(p.span, SPAN_COPY_OUT)
-            in_data = p.in_bb.gather(resp.written)
+            if p.in_sink is not None:
+                # stream bounce-chunk views straight to the consumer —
+                # the bulk-RMA copy-out never materializes a flat array
+                p.in_bb.scatter_to(p.in_sink, resp.written)
+            else:
+                in_data = p.in_bb.gather(resp.written)
         return resp.result, in_data
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

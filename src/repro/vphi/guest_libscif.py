@@ -69,6 +69,7 @@ class GuestScif:
         out_data=None,
         in_nbytes: int = 0,
         segment_args=None,
+        in_sink=None,
         **call_args,
     ):
         """Marshal one intercepted call from its op spec and forward it.
@@ -85,6 +86,7 @@ class GuestScif:
             out_data=out_data,
             in_nbytes=in_nbytes,
             segment_args=segment_args,
+            in_sink=in_sink,
         )
         return result, data
 
@@ -216,13 +218,17 @@ class GuestScif:
         self._ensure_connected(ep)
         if nbytes <= 0:
             raise EINVAL("RMA length must be positive")
-        n, data = yield from self._forward(
+        # copy_to_user per bounce chunk: the payload streams from the
+        # kmalloc chunks straight into the user buffer, so no flat
+        # kernel-side staging array is ever allocated.
+        space = self.process.address_space
+        n, _ = yield from self._forward(
             VPhiOp.VREADFROM, ep,
             in_nbytes=nbytes,
             segment_args=lambda a, off: {**a, "roffset": roffset + off},
+            in_sink=lambda off, view: space.write(vaddr + off, view),
             roffset=roffset, flags=flags,
         )
-        self.process.address_space.write(vaddr, data[:n])
         return n
 
     def vwriteto(self, ep: GuestEndpoint, vaddr: int, nbytes: int, roffset: int,

@@ -172,8 +172,14 @@ class OpSpec:
     carries_in: bool = False
     #: fixed host-side simulated seconds charged before/after the handler
     #: (syscall entry + driver dispatch, completion message, ...).
-    pre_cost: Optional[Callable] = None  # (backend, req) -> float
-    post_cost: Optional[Callable] = None  # (backend, req) -> float
+    #: Preferred form: a tuple of cost-table attribute names (e.g.
+    #: ``("syscall", "driver")``) resolved once against the backend's
+    #: ``lib.costs`` into a plain float — this is what feeds the
+    #: backend's vectorized per-op cost tables.  A callable
+    #: ``(backend, req) -> float`` stays supported as the escape hatch
+    #: for genuinely dynamic costs.
+    pre_cost: Optional[Callable | tuple] = None
+    post_cost: Optional[Callable | tuple] = None
     #: whether the backend's worker pool may service this op.  ``None``
     #: (the default) derives from the blocking class — see :attr:`rides_pool`.
     pool_eligible: Optional[bool] = None
@@ -191,94 +197,71 @@ class OpSpec:
 
     # ------------------------------------------------------------------
     # derived trace keys: the single source the frontend, backend and
-    # analysis layers share (no string literals anywhere else).
+    # analysis layers share (no string literals anywhere else).  All are
+    # interned once at registration time (``__post_init__``) — the hot
+    # path charges per-op counters on every request, so key derivation
+    # must be an attribute load, not an f-string per call.
     # ------------------------------------------------------------------
-    @property
-    def op_name(self) -> str:
-        return self.op.value
+    #: wire name (``op.value``).
+    op_name: str = ""
+    #: frontend: requests submitted.
+    counter_key: str = ""
+    #: backend: requests completed (including errors).
+    served_key: str = ""
+    #: backend: requests that returned a ScifError.
+    error_key: str = ""
+    #: frontend: per-request ring round-trip latency stat.
+    latency_key: str = ""
+    #: faults injected while this op was in flight.
+    injected_key: str = ""
+    #: frontend: retry attempts after a transient fault.
+    retried_key: str = ""
+    #: frontend: requests that ultimately succeeded after >=1 retry.
+    recovered_key: str = ""
+    #: frontend: transient faults surfaced to the caller (fail-fast
+    #: non-idempotent ops, or retries exhausted).
+    failed_key: str = ""
+    #: backend: requests serviced by the worker pool.
+    pooled_key: str = ""
+    #: frontend: completions dropped because their epoch predated a
+    #: session fence (card reset / backend restart).
+    stale_key: str = ""
+    #: backend handling completes in bounded time (``blocking_class``).
+    blocking: bool = True
+    #: effective pool eligibility: the explicit flag, else derived from
+    #: the blocking class.  Bounded-completion (blocking-class) ops ride
+    #: the pool; unbounded ones (accept/poll/fences) keep their dedicated
+    #: worker thread — a parked accept occupying a pool shard would
+    #: starve every op hashed to the same shard.
+    rides_pool: bool = True
+    #: the fault-free phase sequence this op's spans stamp, derived from
+    #: the declaration: payload directions add the copy phases, pool
+    #: eligibility adds the credit wait (skipped on blocking dispatch — a
+    #: run stamps a *subsequence* of this, in this order; only the
+    #: recovery phases may repeat out of it).
+    span_phases: tuple[str, ...] = ()
 
-    @property
-    def counter_key(self) -> str:
-        """Frontend: requests submitted."""
-        return f"vphi.op.{self.op_name}"
-
-    @property
-    def served_key(self) -> str:
-        """Backend: requests completed (including errors)."""
-        return f"vphi.op.{self.op_name}.served"
-
-    @property
-    def error_key(self) -> str:
-        """Backend: requests that returned a ScifError."""
-        return f"vphi.op.{self.op_name}.errors"
-
-    @property
-    def latency_key(self) -> str:
-        """Frontend: per-request ring round-trip latency stat."""
-        return f"vphi.op.{self.op_name}.latency"
-
-    @property
-    def injected_key(self) -> str:
-        """Faults injected while this op was in flight."""
-        return f"vphi.op.{self.op_name}.injected"
-
-    @property
-    def retried_key(self) -> str:
-        """Frontend: retry attempts after a transient fault."""
-        return f"vphi.op.{self.op_name}.retried"
-
-    @property
-    def recovered_key(self) -> str:
-        """Frontend: requests that ultimately succeeded after >=1 retry."""
-        return f"vphi.op.{self.op_name}.recovered"
-
-    @property
-    def failed_key(self) -> str:
-        """Frontend: transient faults surfaced to the caller (fail-fast
-        non-idempotent ops, or retries exhausted)."""
-        return f"vphi.op.{self.op_name}.failed"
-
-    @property
-    def blocking(self) -> bool:
-        return self.blocking_class == BLOCKING
-
-    @property
-    def rides_pool(self) -> bool:
-        """Effective pool eligibility: the explicit flag, else derived
-        from the blocking class.  Bounded-completion (blocking-class) ops
-        ride the pool; unbounded ones (accept/poll/fences) keep their
-        dedicated worker thread — a parked accept occupying a pool shard
-        would starve every op hashed to the same shard."""
-        return self.blocking if self.pool_eligible is None else self.pool_eligible
-
-    @property
-    def pooled_key(self) -> str:
-        """Backend: requests serviced by the worker pool."""
-        return f"vphi.op.{self.op_name}.pooled"
-
-    @property
-    def stale_key(self) -> str:
-        """Frontend: completions dropped because their epoch predated a
-        session fence (card reset / backend restart)."""
-        return f"vphi.op.{self.op_name}.stale_dropped"
-
-    # ------------------------------------------------------------------
-    # span hooks: every layer opens/stamps request-lifecycle spans
-    # through the spec, so the phase vocabulary and the per-op phase
-    # sequence are declared exactly once (here).
-    # ------------------------------------------------------------------
-    def begin_span(self, tracer, vm: str = ""):
-        """Open this op's request-lifecycle span (None when the tracer
-        has spans disabled)."""
-        return tracer.new_span(self.op_name, vm=vm)
-
-    @property
-    def span_phases(self) -> tuple[str, ...]:
-        """The fault-free phase sequence this op's spans stamp, derived
-        from the declaration: payload directions add the copy phases,
-        pool eligibility adds the credit wait (skipped on blocking
-        dispatch — a run stamps a *subsequence* of this, in this order;
-        only the recovery phases may repeat out of it)."""
+    def __post_init__(self):
+        # frozen dataclass: derived state goes in through the back door,
+        # exactly once, at registration time.
+        _set = object.__setattr__
+        name = self.op.value
+        base = f"vphi.op.{name}"
+        _set(self, "op_name", name)
+        _set(self, "counter_key", base)
+        _set(self, "served_key", base + ".served")
+        _set(self, "error_key", base + ".errors")
+        _set(self, "latency_key", base + ".latency")
+        _set(self, "injected_key", base + ".injected")
+        _set(self, "retried_key", base + ".retried")
+        _set(self, "recovered_key", base + ".recovered")
+        _set(self, "failed_key", base + ".failed")
+        _set(self, "pooled_key", base + ".pooled")
+        _set(self, "stale_key", base + ".stale_dropped")
+        blocking = self.blocking_class == BLOCKING
+        _set(self, "blocking", blocking)
+        _set(self, "rides_pool",
+             blocking if self.pool_eligible is None else self.pool_eligible)
         phases = [SPAN_MARSHAL]
         if self.carries_out:
             phases.append(SPAN_COPY_IN)
@@ -290,35 +273,71 @@ class OpSpec:
         if self.carries_in:
             phases.append(SPAN_COPY_OUT)
         phases.append(SPAN_GUEST_RETURN)
-        return tuple(phases)
+        _set(self, "span_phases", tuple(phases))
+        _set(self, "marshal", _compile_marshal(name, self.args))
 
     # ------------------------------------------------------------------
-    def marshal(self, call_args: dict) -> dict:
-        """Build the request's scalar-argument dict from a guest call.
+    # span hooks: every layer opens/stamps request-lifecycle spans
+    # through the spec, so the phase vocabulary and the per-op phase
+    # sequence are declared exactly once (here).
+    # ------------------------------------------------------------------
+    def begin_span(self, tracer, vm: str = ""):
+        """Open this op's request-lifecycle span (None when the tracer
+        has spans disabled)."""
+        return tracer.new_span(self.op_name, vm=vm)
 
-        Applies defaults and wire conversions; unknown or missing
-        arguments are programming errors and raise ScifError.
-        """
-        known = {a.name for a in self.args}
-        extra = set(call_args) - known
-        if extra:
+    # ------------------------------------------------------------------
+    #: compiled marshal plan — ``marshal(call_args) -> dict`` builds the
+    #: request's scalar-argument dict from a guest call, applying
+    #: defaults and wire conversions (unknown or missing arguments are
+    #: programming errors and raise ScifError).  Compiled once per spec
+    #: by :func:`_compile_marshal` at registration time; the per-call
+    #: cost is one closure invocation, not a walk of the ArgSpecs.
+    marshal: Callable[[dict], dict] = None  # type: ignore[assignment]
+
+
+def _compile_marshal(op_name: str, args: tuple[ArgSpec, ...]) -> Callable:
+    """Build the per-op marshal closure.
+
+    The plan is resolved at registry-build time: the known-name set, the
+    (name, default, convert) triples and the no-argument fast path are
+    all baked into the closure, so a hot-path ``marshal()`` does no spec
+    introspection at all.
+    """
+    if not args:
+        def marshal_empty(call_args: dict, _name=op_name) -> dict:
+            if call_args:
+                raise ScifError(
+                    f"vphi op {_name!r}: unexpected argument(s) "
+                    f"{sorted(call_args)}"
+                )
+            return {}
+
+        return marshal_empty
+
+    plan = tuple((a.name, a.default, a.convert) for a in args)
+    known = frozenset(a.name for a in args)
+
+    def marshal(call_args: dict, _name=op_name, _plan=plan,
+                _known=known, _missing=REQUIRED) -> dict:
+        if not _known.issuperset(call_args):
             raise ScifError(
-                f"vphi op {self.op_name!r}: unexpected argument(s) {sorted(extra)}"
+                f"vphi op {_name!r}: unexpected argument(s) "
+                f"{sorted(set(call_args) - _known)}"
             )
         wire = {}
-        for spec in self.args:
-            if spec.name in call_args:
-                value = call_args[spec.name]
-            elif spec.default is not REQUIRED:
-                value = spec.default
-            else:
+        for name, default, convert in _plan:
+            value = call_args.get(name, default)
+            if value is _missing:
                 raise ScifError(
-                    f"vphi op {self.op_name!r}: missing argument {spec.name!r}"
+                    f"vphi op {_name!r}: missing argument {name!r}"
                 )
-            if spec.convert is not None and value is not None:
-                value = spec.convert(value)
-            wire[spec.name] = value
+            if convert is not None and value is not None:
+                value = convert(value)
+            wire[name] = value
         return wire
+
+    return marshal
 
 
 #: the registry: op -> spec.  Keyed by the op object itself so test-only
@@ -337,8 +356,8 @@ def register(
     wants_endpoint: bool = True,
     carries_out: bool = False,
     carries_in: bool = False,
-    pre_cost: Optional[Callable] = None,
-    post_cost: Optional[Callable] = None,
+    pre_cost: Optional[Callable | tuple] = None,
+    post_cost: Optional[Callable | tuple] = None,
     pool_eligible: Optional[bool] = None,
     replayable: bool = False,
     journal: Optional[Callable] = None,
@@ -408,15 +427,14 @@ def temporary_op(op: Any, handler: Callable, **kwargs) -> Iterator[OpSpec]:
 
 
 # ======================================================================
-# cost hooks shared by the RMA family: one host ioctl pays syscall entry
+# cost keys shared by the RMA family: one host ioctl pays syscall entry
 # + driver dispatch up front and one completion message at the end.
+# Declarative (resolved against the backend's ``lib.costs`` once, into
+# its vectorized per-op cost tables) rather than callables invoked per
+# request.
 # ======================================================================
-def _rma_pre_cost(backend, req) -> float:
-    return backend.lib.costs.syscall + backend.lib.costs.driver
-
-
-def _rma_post_cost(backend, req) -> float:
-    return backend.lib.costs.completion
+RMA_PRE_COST = ("syscall", "driver")
+RMA_POST_COST = ("completion",)
 
 
 # ======================================================================
@@ -589,7 +607,7 @@ _RMA_ARGS = (
 
 
 @register(VPhiOp.READFROM, args=_RMA_ARGS, idempotent=True,
-          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+          pre_cost=RMA_PRE_COST, post_cost=RMA_POST_COST)
 def _readfrom(backend, req, elem, a):
     # window-to-window: both sides pinned, DMA direct (no bounce)
     n = yield from backend.window_rma(req, "read")
@@ -597,7 +615,7 @@ def _readfrom(backend, req, elem, a):
 
 
 @register(VPhiOp.WRITETO, args=_RMA_ARGS, idempotent=True,
-          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+          pre_cost=RMA_PRE_COST, post_cost=RMA_POST_COST)
 def _writeto(backend, req, elem, a):
     n = yield from backend.window_rma(req, "write")
     return n, 0
@@ -610,14 +628,14 @@ _VRMA_ARGS = (
 
 
 @register(VPhiOp.VREADFROM, args=_VRMA_ARGS, carries_in=True, idempotent=True,
-          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+          pre_cost=RMA_PRE_COST, post_cost=RMA_POST_COST)
 def _vreadfrom(backend, req, elem, a):
     n = yield from backend.chunked_rma(req, elem, "read")
     return n, n
 
 
 @register(VPhiOp.VWRITETO, args=_VRMA_ARGS, carries_out=True, idempotent=True,
-          pre_cost=_rma_pre_cost, post_cost=_rma_post_cost)
+          pre_cost=RMA_PRE_COST, post_cost=RMA_POST_COST)
 def _vwriteto(backend, req, elem, a):
     n = yield from backend.chunked_rma(req, elem, "write")
     return n, 0

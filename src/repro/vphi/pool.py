@@ -192,12 +192,27 @@ class WorkerPool:
 
     def submit(self, elem: "VirtqueueElement", spec: OpSpec) -> None:
         """Queue one popped chain on its member's shard (never blocks)."""
-        self.inflight += 1
-        self.peak_inflight = max(self.peak_inflight, self.inflight)
-        self.submitted += 1
-        self._chans[self.shard_for(spec, elem.header)].try_put(
-            (elem, spec, next(self._seq))
-        )
+        self.submit_batch([(elem, spec)])
+
+    def submit_batch(self, items: list) -> None:
+        """Queue a whole drained batch of ``(elem, spec)`` pairs at once.
+
+        One bookkeeping update for the batch, then per-item sharding in
+        pop order — per-endpoint FIFO is preserved because same-handle
+        requests land on the same shard in the order they were popped.
+        Never blocks: the backend's drain loop already bounded the batch
+        by the in-flight window.
+        """
+        self.inflight += len(items)
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        self.submitted += len(items)
+        chans = self._chans
+        seq = self._seq
+        for elem, spec in items:
+            chans[self.shard_for(spec, elem.header)].try_put(
+                (elem, spec, next(seq))
+            )
 
     def _member(self, idx: int):
         """One persistent worker: credit -> service -> retire, forever.

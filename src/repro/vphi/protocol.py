@@ -41,7 +41,7 @@ class VPhiOp(enum.Enum):
     SYSFS_READ = "sysfs_read"
 
 
-@dataclass
+@dataclass(slots=True)
 class VPhiRequest:
     """Ring request header."""
 
@@ -66,7 +66,7 @@ class VPhiRequest:
     epoch: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class VPhiResponse:
     """Ring response, matched to the request by tag."""
 

@@ -295,3 +295,26 @@ def test_reset_clears_spans():
     t.reset()
     assert not t.active_spans and len(t.spans) == 0
     assert t.dropped_spans == 0 and t.dropped_records == 0
+
+
+def test_replacing_a_ring_rebinds_its_drop_bookkeeping():
+    """The bound checks are hoisted to precomputed caps; swapping in a
+    replacement deque (as soak harnesses do) must rebind them — drops
+    keep being counted against the *new* cap, and uncapped replacements
+    stop counting drops entirely."""
+    from collections import deque
+
+    t = Tracer(record_all=True, max_records=100)
+    t.records = deque(maxlen=2)
+    for i in range(5):
+        t.emit("soak", f"m{i}")
+    assert [r.message for r in t.records] == ["m3", "m4"]
+    assert t.dropped_records == 3
+    assert t.counters[DROPPED_RECORDS_KEY] == 3
+
+    t.records = deque()  # uncapped: nothing further drops
+    for i in range(10):
+        t.emit("soak", f"n{i}")
+    assert len(t.records) == 10
+    assert t.dropped_records == 3
+    assert t.counters[DROPPED_RECORDS_KEY] == 3

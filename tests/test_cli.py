@@ -69,3 +69,22 @@ def test_trace_exports_valid_chrome_json(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["warp"])
+
+
+def test_profile_prints_stats_and_dumps_pstats(tmp_path, capsys):
+    import pstats
+
+    out_path = tmp_path / "fig4.pstats"
+    assert main(["profile", "fig4", "--sizes", "1,1024", "--top", "5",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "Ordered by: internal time" in out
+    assert f"wrote raw profile to {out_path}" in out
+    # the dump loads back as valid pstats data
+    stats = pstats.Stats(str(out_path))
+    assert stats.total_calls > 0
+
+
+def test_profile_rejects_unknown_scenario():
+    with pytest.raises(SystemExit):
+        main(["profile", "fig9"])
