@@ -90,7 +90,20 @@ class CalendarQueue:
             # the same-tick fast lane: seq order *is* FIFO order here,
             # so appending keeps the global (when, seq) invariant
             self._lane.append(entry)
-        elif when < self._horizon and when >= self._base:
+            return entry
+        if when < self._base:
+            # a peek()/pop(limit) against a far-future head rebased the
+            # wheel past this time (e.g. run(until=...) parking on a
+            # distant timeout, then new near-term work arriving).  If
+            # the wheel is empty rewind it to ``when``; otherwise spill
+            # to the far heap — _head() compares the far head against
+            # every tier, so ordering stays global either way.
+            if self._wheel_count == 0:
+                self._rebase(when)
+            else:
+                heapq.heappush(self._far, entry)
+                return entry
+        if when < self._horizon:
             i = int((when - self._base) / self._width)
             if i >= self._nbuckets:  # float edge at the horizon boundary
                 heapq.heappush(self._far, entry)
@@ -192,30 +205,44 @@ class CalendarQueue:
                 break
             heapq.heappop(far)
             i = int((head[0] - self._base) / self._width)
-            if i >= self._nbuckets:
+            if i < 0:
+                # a rewind rebase (push below base) can find far entries
+                # even earlier than ``start``; bucket heaps keep them
+                # ordered, so the front bucket is always safe
+                i = 0
+            elif i >= self._nbuckets:
                 i = self._nbuckets - 1
             heapq.heappush(self._buckets[i], head)
             self._wheel_count += 1
 
     def _head(self) -> Optional[Entry]:
-        """The globally smallest live entry (not removed)."""
+        """The globally smallest live entry (not removed).
+
+        The far heap is compared against the other tiers unconditionally:
+        after a rebase against a far-future head, a later push can land
+        in the far heap with a time *below* ``_base`` (see :meth:`push`),
+        so a non-empty wheel does not mean the wheel holds the minimum.
+        """
         lane = self._lane_head()
         wheel = self._wheel_head()
-        if wheel is None:
+        far = self._far_head()
+        if wheel is None and far is not None and (
+            lane is None
+            or far[0] < lane[0]
+            or (far[0] == lane[0] and far[1] < lane[1])
+        ):
+            # wheel drained and the far tail holds the global head:
+            # pull it into a re-centered wheel
+            self._rebase(far[0])
+            wheel = self._wheel_head()
             far = self._far_head()
-            if far is not None and (
-                lane is None
-                or far[0] < lane[0]
-                or (far[0] == lane[0] and far[1] < lane[1])
-            ):
-                # wheel drained and the far tail holds the global head:
-                # pull it into a re-centered wheel
-                self._rebase(far[0])
-                wheel = self._wheel_head()
         best = lane
         if wheel is not None and (best is None
                                   or (wheel[0], wheel[1]) < (best[0], best[1])):
             best = wheel
+        if far is not None and (best is None
+                                or (far[0], far[1]) < (best[0], best[1])):
+            best = far
         return best
 
     def peek(self) -> Optional[float]:
@@ -236,7 +263,9 @@ class CalendarQueue:
             if bucket and bucket[0] is head:
                 heapq.heappop(bucket)
                 self._wheel_count -= 1
-            else:  # pragma: no cover - defensive; _head always places it
+            else:
+                # head lives in the far heap: either the wheel is empty,
+                # or the far heap holds sub-base entries after a rebase
                 heapq.heappop(self._far)
         self._live -= 1
         return head

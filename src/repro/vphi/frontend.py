@@ -80,6 +80,52 @@ class BatchCall:
     in_sink: Optional[callable] = None
 
 
+class _SegmentSinkChain:
+    """Compacts a segmented streaming copy-out like the old flat gather.
+
+    Before the streaming datapath, a segmented read concatenated every
+    segment's gathered bytes and wrote one contiguous prefix into the
+    guest buffer — so a short middle segment (a partial completion on a
+    fault/retry path) compacted the following segments down.  Streaming
+    sinks write ``(offset, view)`` pairs instead, which would leave a
+    hole at the short segment if each segment used its nominal byte
+    offset.  The chain keeps the old guest-visible semantics: each
+    segment is based at the running total of bytes *actually* streamed
+    by its predecessors, not at its nominal offset.
+    """
+
+    __slots__ = ("_sink", "_base", "_streamed")
+
+    def __init__(self, sink):
+        self._sink = sink
+        self._base = 0
+        self._streamed = 0
+
+    def segment(self):
+        """A per-segment ``consume(offset, view)`` sink.
+
+        Segments finish streaming in submission order (``submit_batch``
+        reaps responses in order), so on its first view each segment
+        advances the chain base past the bytes its predecessor really
+        produced.  A fully-short segment never streams a view and
+        therefore contributes nothing to the base.
+        """
+        started = False
+
+        def consume(off, view):
+            nonlocal started
+            if not started:
+                self._base += self._streamed
+                self._streamed = 0
+                started = True
+            self._sink(self._base + off, view)
+            # scatter_to streams a contiguous prefix in offset order,
+            # so the last view's end is the segment's actual byte count
+            self._streamed = off + len(view)
+
+        return consume
+
+
 class _Prepared:
     """A marshalled request whose bounce chunks are live in guest memory."""
 
@@ -290,6 +336,7 @@ class VPhiFrontend:
         max_segment = max_data_descs * self.config.chunk_size
         total = len(out_data) if out_data is not None else in_nbytes
         if total > max_segment:
+            sink_chain = None if in_sink is None else _SegmentSinkChain(in_sink)
             calls = []
             off = 0
             while off < total:
@@ -301,8 +348,8 @@ class VPhiFrontend:
                     out_data=(out_data[off : off + take]
                               if out_data is not None else None),
                     in_nbytes=take if in_nbytes else 0,
-                    in_sink=(None if in_sink is None else
-                             (lambda o, v, _base=off: in_sink(_base + o, v))),
+                    in_sink=(None if sink_chain is None
+                             else sink_chain.segment()),
                 ))
                 off += take
             pairs = yield from self.submit_batch(calls)

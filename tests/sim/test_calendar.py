@@ -128,6 +128,104 @@ def test_pop_limit_stops_at_horizon():
 
 
 # ----------------------------------------------------------------------
+# rebase against a far-future head (the run(until=...) reordering bug)
+# ----------------------------------------------------------------------
+def test_pop_limit_rebase_then_earlier_push_keeps_order():
+    """The regression: pop(limit) below a far-future head eagerly rebases
+    the wheel to that head's time; a later push *between* now and the
+    rebased base must still fire first, not after it."""
+    cq = CalendarQueue()
+    cq.push(100.0, "late", 0.0)
+    assert cq.pop(limit=5.0) is None     # parks; wheel rebased to t=100
+    cq.push(50.0, "early", 5.0)          # now < when < base
+    a = cq.pop()
+    b = cq.pop()
+    assert (a[0], a[2]) == (50.0, "early")
+    assert (b[0], b[2]) == (100.0, "late")
+    assert cq.pop() is None
+
+
+def test_peek_rebase_then_earlier_push_keeps_order():
+    """peek() also rebases eagerly; a subsequent sub-base push must win."""
+    cq = CalendarQueue()
+    cq.push(100.0, "late", 0.0)
+    assert cq.peek() == 100.0
+    cq.push(50.0, "early", 0.0)
+    assert cq.peek() == 50.0
+    assert [cq.pop()[2] for _ in range(2)] == ["early", "late"]
+
+
+def test_run_until_then_earlier_schedule_fires_in_order():
+    """End-to-end repro from the review: run(until=) short of a distant
+    callback, then schedule an earlier one — it must run first, at its
+    own time, and the distant one at its own time."""
+    sim = Simulator()
+    fired = []
+    sim.call_at(100.0, lambda: fired.append(("late", sim.now)))
+    sim.run(until=5.0)
+    assert sim.now == 5.0 and fired == []
+    sim.call_at(50.0, lambda: fired.append(("early", sim.now)))
+    sim.run()
+    assert fired == [("early", 50.0), ("late", 100.0)]
+
+
+def test_rewind_rebase_with_far_entries_below_start():
+    """Wheel emptied by compaction while the far heap holds sub-base
+    leftovers: the rewind rebase must front-bucket far entries even
+    earlier than its start time instead of mis-indexing them."""
+    cq = CalendarQueue(compact_threshold=0)
+    a = cq.push(100.0, "a", 0.0)
+    assert cq.pop(limit=1.0) is None     # wheel rebased to base=100
+    cq.push(3.0, "b", 1.0)               # below base -> far heap
+    c = cq.push(100.2, "c", 1.0)         # beyond the wheel horizon -> far
+    cq.cancel(a)
+    cq.cancel(c)                         # tombstones > live: compaction
+    assert cq.compactions >= 1
+    cq.push(5.0, "d", 1.0)               # empty wheel + below base: rewind
+    assert [(e[0], e[2]) for e in (cq.pop(), cq.pop())] == [
+        (3.0, "b"), (5.0, "d")]
+    assert cq.pop() is None
+    assert len(cq) == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_delays, min_size=0, max_size=100), st.randoms())
+def test_limited_pops_and_peeks_never_reorder(delays, rng):
+    """Random schedules interleaved with peek() and pop(limit) — the
+    calls that eagerly rebase the wheel — still fire in exact reference
+    heap order, including pushes landing below the rebased base."""
+    cq = CalendarQueue()
+    ref = []
+    seq = 0
+    pending = list(enumerate(delays))
+    now = 0.0
+    while pending or len(cq):
+        take = rng.randint(0, len(pending)) if pending else 0
+        for label, delay in pending[:take]:
+            cq.push(now + delay, ("t", label), now)
+            heapq.heappush(ref, (now + delay, seq, ("t", label)))
+            seq += 1
+        del pending[:take]
+        for _ in range(rng.randint(1, 4)):
+            roll = rng.random()
+            if roll < 0.3:
+                cq.peek()  # may rebase; must never reorder
+                continue
+            limit = None
+            if roll < 0.7:
+                head = cq.peek()
+                limit = (head if head is not None else now) * rng.uniform(0.0, 1.5)
+            entry = cq.pop(limit)
+            if entry is None:
+                assert not ref or (limit is not None and ref[0][0] > limit)
+                break
+            when, _, label = heapq.heappop(ref)
+            assert (entry[0], entry[2]) == (when, label)
+            now = max(now, entry[0])
+    assert not ref
+
+
+# ----------------------------------------------------------------------
 # tombstones and compaction (the run(until=...) leak)
 # ----------------------------------------------------------------------
 def test_cancelled_entries_compact_instead_of_accumulating():
