@@ -107,8 +107,33 @@ def _run_a11() -> dict:
     }
 
 
+def _run_a12() -> dict:
+    """A12: arbiter policy fairness/tail at 10x oversubscription.
+
+    200 tenant VMs (weighted interactive classes + best-effort bulk)
+    drive the open-loop harness under every arbiter policy; the golden
+    pins the share-weighted Jain index, the worst gold-tenant p99, and
+    the completed/shed totals per policy.
+    """
+    from test_ablation_qos import gold_p99, run_qos_ablation
+
+    reports = run_qos_ablation()
+    return {
+        "figure": "a12",
+        "unit": "mixed",
+        "weighted_jain_by_policy": [
+            [p, r.weighted_jain] for p, r in reports.items()],
+        "gold_p99_by_policy": [
+            [p, gold_p99(r)] for p, r in reports.items()],
+        "completed_by_policy": [
+            [p, r.total_completed] for p, r in reports.items()],
+        "shed_by_policy": [
+            [p, r.total_shed] for p, r in reports.items()],
+    }
+
+
 FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10,
-           "a11": _run_a11}
+           "a11": _run_a11, "a12": _run_a12}
 
 
 def canonical(series: dict) -> str:

@@ -6,6 +6,7 @@
     python -m repro dgemm --n 2000 --threads 112 [--vm]
     python -m repro stream --n 20000000 --iters 10 [--vm]
     python -m repro trace [--out vphi_trace.json] [--check]
+    python -m repro qos [--plan plan.json] [--check] [--assert-jain 0.95]
     python -m repro profile fig5 [--top 25] [--out fig5.pstats]
 
 Every command builds the paper's testbed (one 3120P), runs the workload
@@ -150,6 +151,70 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_qos(args) -> int:
+    """Run (or just validate) an open-loop multi-tenant QoS plan.
+
+    With ``--plan FILE`` the plan comes from JSON; otherwise a built-in
+    oversubscription smoke plan is generated from ``--tenants`` /
+    ``--policy`` / ``--oversub``.  ``--check`` validates the plan file,
+    runs it, asserts the harness conservation invariant (every arrival
+    got a typed completion: done, shed, or error), and exits non-zero
+    on any violation — the qos-smoke CI step is exactly this command
+    plus ``--assert-jain`` / ``--assert-shed``.
+    """
+    from .analysis import qos_stats, render_qos
+    from .traffic import TrafficPlan, run_plan
+    from .traffic.plan import plan_check
+
+    try:
+        if args.plan:
+            plan = TrafficPlan.from_file(args.plan)
+        else:
+            plan = TrafficPlan.smoke(
+                tenants=args.tenants, policy=args.policy,
+                oversubscription=args.oversub, duration=args.duration,
+                seed=args.seed,
+            )
+    except (ValueError, OSError) as exc:
+        print(f"FAIL invalid plan: {exc}", file=sys.stderr)
+        return 1
+    if args.check:
+        for line in plan_check(plan):
+            print(line)
+        print()
+    result = run_plan(plan)
+    report = qos_stats(result)
+    rendered = render_qos(report, limit=args.limit)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"\nwrote SLO report to {args.out}")
+    failures = []
+    if args.check:
+        try:
+            result.check_conservation()
+        except AssertionError as exc:
+            failures.append(str(exc))
+    if args.assert_jain is not None and report.weighted_jain < args.assert_jain:
+        failures.append(
+            f"weighted Jain's index {report.weighted_jain:.4f} "
+            f"< required {args.assert_jain}"
+        )
+    if args.assert_shed and report.total_shed == 0:
+        failures.append(
+            "admission control shed nothing despite oversubscription"
+        )
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("\nok: plan valid, every arrival got a typed completion")
+    return 0
+
+
 #: scenarios ``profile`` can drive: name -> zero-arg runner factory.
 #: Each runs one figure's full deterministic workload (the same code
 #: path the benchmark gates measure), so the profile reflects the real
@@ -234,6 +299,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify span invariants and trace-event schema; exit 1 on violation",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "qos", help="run an open-loop multi-tenant QoS plan, print SLO table"
+    )
+    p.add_argument("--plan", help="traffic plan JSON file (default: built-in "
+                                  "oversubscription smoke plan)")
+    p.add_argument("--check", action="store_true",
+                   help="validate the plan, run it, and assert every arrival "
+                        "got a typed completion; exit 1 on violation")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="built-in plan: number of tenant VMs (default 8)")
+    p.add_argument("--policy", default="wfq",
+                   choices=["rr", "wfq", "priority"],
+                   help="arbiter policy for the built-in plan (default wfq)")
+    p.add_argument("--oversub", type=float, default=10.0,
+                   help="built-in plan: offered load as a multiple of card "
+                        "capacity (default 10)")
+    p.add_argument("--duration", type=float, default=0.02,
+                   help="measurement window in simulated seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--limit", type=int, default=16,
+                   help="max tenant rows to print (default 16)")
+    p.add_argument("--out", help="also write the rendered report here")
+    p.add_argument("--assert-jain", type=float, default=None,
+                   help="fail unless the share-weighted Jain index is >= X")
+    p.add_argument("--assert-shed", action="store_true",
+                   help="fail unless admission control shed at least one "
+                        "arrival")
+    p.set_defaults(fn=_cmd_qos)
 
     p = sub.add_parser(
         "profile", help="run one figure scenario under cProfile"

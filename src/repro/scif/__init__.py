@@ -20,6 +20,7 @@ from .errors import (
     EAGAIN,
     EADDRINUSE,
     EBADF,
+    EBUSY,
     ECONNREFUSED,
     ECONNRESET,
     EINVAL,
@@ -41,6 +42,7 @@ __all__ = [
     "EAGAIN",
     "EADDRINUSE",
     "EBADF",
+    "EBUSY",
     "ECONNREFUSED",
     "ECONNRESET",
     "EINVAL",

@@ -11,6 +11,7 @@ __all__ = [
     "ENOTCONN",
     "EISCONN",
     "EAGAIN",
+    "EBUSY",
     "ENXIO",
     "ENOMEM",
     "EACCES",
@@ -56,6 +57,19 @@ class EISCONN(ScifError):
 
 class EAGAIN(ScifError):
     errno_name = "EAGAIN"
+
+
+class EBUSY(ScifError):
+    """The device (or its virtualized QoS layer) is saturated.
+
+    vPHI's admission control sheds load with EBUSY when a tenant's
+    offered traffic crosses its queue-depth or latency watermark: the
+    request is refused *before* any descriptor is allocated, so the
+    guest gets typed back-pressure instead of an ever-growing queue.
+    Native SCIF surfaces the same errno when the driver's command ring
+    is full."""
+
+    errno_name = "EBUSY"
 
 
 class ENXIO(ScifError):

@@ -1,0 +1,38 @@
+"""Open-loop traffic generation for multi-tenant QoS experiments.
+
+Every benchmark the repo had before this package was **closed-loop**:
+each client issues its next request only after the previous one
+completes, so the offered load self-throttles exactly when the system
+degrades — the regime where fairness and tail latency go wrong is
+unreachable by construction.  This package generates **open-loop**
+arrivals (the arrival process is independent of completions, the
+standard methodology for tail-latency studies): seeded deterministic
+arrival streams (:mod:`~repro.traffic.arrivals`), declarative per-tenant
+plans with workload mixes and QoS identities
+(:mod:`~repro.traffic.plan`), and a harness that stands up one machine
+with N tenant VMs and drives a plan end-to-end
+(:mod:`~repro.traffic.harness`).
+
+The workload mixes reuse the paper's own microbenchmark shapes
+(:mod:`repro.workloads`): small ``scif_send`` messages are the Fig 4
+send/recv latency op, bulk ``vreadfrom``/``vwriteto`` are the Fig 5
+remote-RMA throughput op.
+"""
+
+from .arrivals import MMPP, ArrivalProcess, Diurnal, Poisson, make_arrivals
+from .harness import HarnessResult, TenantLoad, run_plan
+from .plan import TenantSpec, TrafficPlan, WorkloadMix
+
+__all__ = [
+    "ArrivalProcess",
+    "Diurnal",
+    "HarnessResult",
+    "MMPP",
+    "Poisson",
+    "TenantLoad",
+    "TenantSpec",
+    "TrafficPlan",
+    "WorkloadMix",
+    "make_arrivals",
+    "run_plan",
+]

@@ -29,6 +29,7 @@ from .ops import (
 )
 from .pool import CardArbiter, WorkerPool
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .qos import AdmissionController
 from .session import (
     EndpointRecord,
     MmapRecord,
@@ -40,6 +41,7 @@ from .setup import VPhiInstance, install_vphi
 from .wait import HybridWait, InterruptWait, PollingWait, make_wait_scheme
 
 __all__ = [
+    "AdmissionController",
     "ArgSpec",
     "BLOCKING",
     "BatchCall",

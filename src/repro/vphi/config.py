@@ -100,6 +100,37 @@ class VPhiConfig:
     #: re-enumeration latency; also spaces replay retries while the
     #: card-side peer re-establishes its listeners/windows).
     recovery_settle: float = 1e-3
+    #: multi-tenant QoS: this VM's weight under the card arbiter's
+    #: ``wfq`` policy — the share of dispatch credits it is entitled to
+    #: relative to the other tenants on the card (2.0 gets twice the
+    #: credits of 1.0 under contention).  ``0.0`` marks a best-effort
+    #: tenant: it is only served when no weighted tenant is waiting.
+    #: Ignored by the default ``rr`` policy, so Fig 4/5 and the A8-A11
+    #: baselines are untouched.
+    qos_share: float = 1.0
+    #: strict priority class under the arbiter's ``priority`` policy:
+    #: lower numbers are served first (0 = most important); within a
+    #: class credits rotate round-robin.  Ignored by ``rr``/``wfq``.
+    qos_priority: int = 0
+    #: admission control: shed new submits with typed EBUSY once this
+    #: many requests are admitted-but-uncompleted in the frontend
+    #: (posted, parked on ring space, or queued in the pool).  ``None``
+    #: (the default) disables the depth watermark — no admission check
+    #: runs and the baselines stay byte-identical.  Shedding stops once
+    #: the depth drains below ``admit_resume_depth``.
+    admit_queue_depth: Optional[int] = None
+    #: admission control: shed new submits while the EWMA of recent
+    #: end-to-end request latency exceeds this (seconds).  ``None``
+    #: disables the latency watermark.
+    admit_latency: Optional[float] = None
+    #: hysteresis for the depth watermark: once shedding starts, submits
+    #: stay refused until the admitted depth drains to
+    #: ``admit_queue_depth * admit_hysteresis`` (avoids admit/shed
+    #: flapping at the boundary).
+    admit_hysteresis: float = 0.5
+    #: EWMA smoothing factor for the latency watermark (weight of the
+    #: newest completed request's latency).
+    admit_ewma_alpha: float = 0.2
     #: request-lifecycle spans: every submit opens a per-request span
     #: stamped with phase timestamps by the frontend, backend, pool and
     #: session layers (see :data:`repro.vphi.ops.SPAN_PHASE_ORDER`).
@@ -140,11 +171,26 @@ class VPhiConfig:
             raise ValueError("recovery_window must be positive")
         if self.recovery_settle < 0:
             raise ValueError("recovery_settle must be >= 0")
+        if self.qos_share < 0:
+            raise ValueError("qos_share must be >= 0 (0 = best-effort)")
+        if self.admit_queue_depth is not None and self.admit_queue_depth < 1:
+            raise ValueError("admit_queue_depth must be >= 1 (or None)")
+        if self.admit_latency is not None and self.admit_latency <= 0:
+            raise ValueError("admit_latency must be positive (or None)")
+        if not 0.0 <= self.admit_hysteresis <= 1.0:
+            raise ValueError("admit_hysteresis must be in [0, 1]")
+        if not 0.0 < self.admit_ewma_alpha <= 1.0:
+            raise ValueError("admit_ewma_alpha must be in (0, 1]")
 
     @property
     def pooled(self) -> bool:
         """Whether backend dispatch runs on the worker pool."""
         return self.backend_workers > 0
+
+    @property
+    def admission_enabled(self) -> bool:
+        """Whether any QoS admission watermark is armed."""
+        return self.admit_queue_depth is not None or self.admit_latency is not None
 
     @property
     def recovery_enabled(self) -> bool:

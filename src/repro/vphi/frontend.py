@@ -58,6 +58,7 @@ from .ops import (
     spec_for,
 )
 from .protocol import VPhiOp, VPhiRequest, VPhiResponse
+from .qos import AdmissionController
 from .session import ACTIVE, SessionManager
 from .wait import make_wait_scheme
 
@@ -218,6 +219,8 @@ class VPhiFrontend:
         #: session journal + recovery orchestrator (inert under the
         #: default ``recovery_policy="none"``).
         self.session = SessionManager(self)
+        #: QoS admission gate (inert unless a watermark is configured).
+        self.admission = AdmissionController(self)
         virtio.bind_guest_isr(self.irq_handler)
         vm.guest_kernel.vphi_frontend = self
         #: metrics
@@ -325,6 +328,13 @@ class VPhiFrontend:
         device->guest payload (or None).  Raises the host-side ScifError
         if the operation failed.
 
+        With a QoS watermark configured, admission happens here — once
+        per guest-visible request, before any marshalling or descriptor
+        allocation — and an overloaded frontend raises typed
+        :class:`~repro.scif.errors.EBUSY` instead of queuing.  The
+        segmented path below re-enters :meth:`submit_batch` internally
+        and must not (and does not) admit each segment again.
+
         Transfers whose bounce chunks would not fit the descriptor ring
         are split into sequential ring submissions (the real driver does
         the same when a request exceeds the ring) — posted as one batch
@@ -332,6 +342,34 @@ class VPhiFrontend:
         per segment.  ``segment_args(args, byte_offset)`` rewrites the
         op-specific arguments for each segment (RMA offsets advance).
         """
+        adm = self.admission
+        if not adm.enabled:
+            result = yield from self._do_submit(
+                op, handle, args, out_data, in_nbytes, segment_args, in_sink
+            )
+            return result
+        adm.admit(spec_for(op))
+        t0 = self.sim.now
+        try:
+            result = yield from self._do_submit(
+                op, handle, args, out_data, in_nbytes, segment_args, in_sink
+            )
+            return result
+        finally:
+            adm.finish(self.sim.now - t0)
+
+    def _do_submit(
+        self,
+        op: VPhiOp,
+        handle: int = 0,
+        args: Optional[dict] = None,
+        out_data: Optional[np.ndarray] = None,
+        in_nbytes: int = 0,
+        segment_args=None,
+        in_sink=None,
+    ):
+        """The already-admitted body of :meth:`submit` (segmentation +
+        single-chain dispatch)."""
         max_data_descs = self.virtio.ring.size // 2
         max_segment = max_data_descs * self.config.chunk_size
         total = len(out_data) if out_data is not None else in_nbytes
@@ -352,7 +390,7 @@ class VPhiFrontend:
                              else sink_chain.segment()),
                 ))
                 off += take
-            pairs = yield from self.submit_batch(calls)
+            pairs = yield from self._do_submit_batch(calls)
             results = [r for r, _ in pairs]
             gathered = [d for _, d in pairs if d is not None]
             agg = sum(r for r in results if isinstance(r, (int, float)))
@@ -371,6 +409,13 @@ class VPhiFrontend:
         whole batch fits the descriptor ring) instead of once per
         request, then every response is reaped in submission order.
 
+        With a QoS watermark configured a direct batch is admitted as
+        ``len(calls)`` guest-visible requests, atomically: either the
+        whole batch is admitted or the whole batch sheds with one typed
+        :class:`~repro.scif.errors.EBUSY` (per-op shed counters charge
+        the first call's op).  Segmented :meth:`submit` calls bypass
+        this gate — their one admission already happened at the top.
+
         Returns ``[(result, in_data), ...]`` aligned with ``calls``.  If
         any request failed, the first host-side error is raised — but
         only after every response has been reaped, so no bounce chunk is
@@ -379,6 +424,20 @@ class VPhiFrontend:
         calls = list(calls)
         if not calls:
             return []
+        adm = self.admission
+        if not adm.enabled:
+            out = yield from self._do_submit_batch(calls)
+            return out
+        adm.admit(spec_for(calls[0].op), n=len(calls))
+        t0 = self.sim.now
+        try:
+            out = yield from self._do_submit_batch(calls)
+            return out
+        finally:
+            adm.finish(self.sim.now - t0, n=len(calls))
+
+    def _do_submit_batch(self, calls: list):
+        """The already-admitted body of :meth:`submit_batch`."""
         t0_batch = self.sim.now
         acc = self.tracer.accumulate
         prepared: list[_Prepared] = []

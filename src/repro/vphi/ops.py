@@ -226,6 +226,9 @@ class OpSpec:
     #: frontend: completions dropped because their epoch predated a
     #: session fence (card reset / backend restart).
     stale_key: str = ""
+    #: frontend: submits refused by QoS admission control (typed EBUSY
+    #: before any descriptor was allocated).
+    shed_key: str = ""
     #: backend handling completes in bounded time (``blocking_class``).
     blocking: bool = True
     #: effective pool eligibility: the explicit flag, else derived from
@@ -258,6 +261,7 @@ class OpSpec:
         _set(self, "failed_key", base + ".failed")
         _set(self, "pooled_key", base + ".pooled")
         _set(self, "stale_key", base + ".stale_dropped")
+        _set(self, "shed_key", base + ".shed")
         blocking = self.blocking_class == BLOCKING
         _set(self, "blocking", blocking)
         _set(self, "rides_pool",

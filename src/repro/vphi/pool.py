@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Optional
 from ..analysis.calibration import VPHI_COSTS, VPhiCosts
 from ..scif import ScifError
 from ..scif.errors import ECONNRESET
-from ..sim import Channel, ChannelClosed, Event, Interrupted, Simulator
+from ..sim import Channel, ChannelClosed, Event, Interrupted, SimError, Simulator
 from .ops import SPAN_CREDIT_WAIT, SPAN_RING, OpSpec
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,33 +48,126 @@ __all__ = ["CardArbiter", "WorkerPool"]
 
 
 class CardArbiter:
-    """Round-robin dispatch credits over the VMs sharing one card.
+    """Dispatch credits over the VMs sharing one card, under a pluggable
+    scheduling policy.
 
     ``slots`` bounds concurrent host-side SCIF dispatches machine-wide
     (one per host core by default — the driver serializes per-core
-    ioctls).  Waiters queue per VM; each freed slot goes to the next VM
-    in round-robin order that has a waiter, so credit-hungry tenants
-    take turns instead of draining the pool FIFO.
+    ioctls).  Waiters queue per VM; each freed slot goes to whichever
+    waiting VM the active policy selects:
+
+    * ``"rr"`` (default) — round-robin over VMs in first-acquire order.
+      Every grant advances the rotor, including uncontended ones, so
+      the VM that happened to be running when contention began holds no
+      hidden head start and an idle VM keeps its place in the rotation
+      when it resumes (VMs are never dropped from the order).
+    * ``"wfq"`` — weighted fair queuing by virtual finish tags: each
+      grant to ``vm`` costs ``1/weight(vm)`` of virtual time, and the
+      waiter with the smallest prospective finish tag wins, so over any
+      contended interval grants converge to the weight ratios.  A zero
+      weight marks a best-effort tenant, served only when no weighted
+      tenant is waiting.  Ties rotate round-robin.
+    * ``"priority"`` — strict classes: the waiter with the numerically
+      lowest priority class wins (0 = most important), round-robin
+      within a class.  A lower class waiter always yields; starvation
+      of the losers is the documented semantics, not a bug.
+
+    Every grant — immediate or queued — flows through the same policy
+    selector, so credit accounting cannot diverge between the contended
+    and uncontended paths.
     """
 
-    def __init__(self, sim: Simulator, slots: int, name: str = "vphi-arbiter"):
+    POLICIES = ("rr", "wfq", "priority")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        slots: int,
+        name: str = "vphi-arbiter",
+        policy: str = "rr",
+    ):
         if slots < 1:
             raise ValueError("arbiter needs at least one dispatch slot")
         self.sim = sim
         self.name = name
         self.slots = slots
         self._free = slots
-        #: round-robin order: VMs in first-acquire order.
+        self.set_policy(policy)
+        #: selection order: VMs in first-acquire order, never removed —
+        #: an idle tenant keeps its slot in the rotation.
         self._order: list[str] = []
         self._queues: dict[str, deque[Event]] = {}
-        self._next = 0
+        #: rr/wfq rotor: the VM granted last.  Anchoring the rotor to a
+        #: *name* (scan resumes after it) rather than an index keeps the
+        #: rotation fair even when a tenant registers after the grant —
+        #: ``(i + 1) % n`` with n == 1 pins the rotor back onto the only
+        #: registered VM, handing it a head start over every later
+        #: arrival.
+        self._last: Optional[str] = None
+        #: per-priority-class rr rotor (``priority`` policy).
+        self._class_next: dict[int, int] = {}
+        #: per-tenant wfq weights / priority classes (``configure``).
+        self._weights: dict[str, float] = {}
+        self._prios: dict[str, int] = {}
+        #: wfq virtual clock, per-tenant virtual finish tags, and the
+        #: virtual time each tenant last became backlogged.  The start
+        #: tag is pinned when the queue goes non-empty (classic WFQ
+        #: stamps on arrival): ranking a waiter against the *advancing*
+        #: clock instead would float every unserved tag upward in
+        #: lockstep and starve the light flows.
+        self._vtime = 0.0
+        self._finish: dict[str, float] = {}
+        self._backlog_start: dict[str, float] = {}
+        #: queued-but-ungranted acquires (O(1) contention check).
+        self._waiting = 0
         #: metrics
         self.grants = 0
         self.grants_by_vm: dict[str, int] = {}
+        self.waits = 0
 
     @property
     def free(self) -> int:
         return self._free
+
+    @property
+    def waiting(self) -> int:
+        """Acquires currently queued (machine-wide contention depth)."""
+        return self._waiting
+
+    def set_policy(self, policy: str) -> None:
+        """Switch scheduling policy (affects future grants only)."""
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown arbiter policy {policy!r} (choose from {self.POLICIES})"
+            )
+        self.policy = policy
+
+    def configure(self, vm: str, weight: Optional[float] = None,
+                  priority: Optional[int] = None) -> None:
+        """Set one tenant's wfq weight and/or strict priority class.
+
+        Safe mid-flight: weights and classes are read at selection time,
+        so a change applies from the next grant onward — already-queued
+        waiters are re-ranked, already-granted credits are not recalled.
+        """
+        self._register(vm)
+        if weight is not None:
+            if weight < 0:
+                raise ValueError(f"qos weight must be >= 0, got {weight}")
+            self._weights[vm] = weight
+        if priority is not None:
+            self._prios[vm] = priority
+
+    def weight_of(self, vm: str) -> float:
+        return self._weights.get(vm, 1.0)
+
+    def priority_of(self, vm: str) -> int:
+        return self._prios.get(vm, 0)
+
+    def queue_depth(self, vm: str) -> int:
+        """Ungranted acquires queued for one tenant."""
+        queue = self._queues.get(vm)
+        return len(queue) if queue else 0
 
     def _register(self, vm: str) -> None:
         if vm not in self._queues:
@@ -84,29 +177,30 @@ class CardArbiter:
     def acquire(self, vm: str) -> Event:
         """An event firing once ``vm`` holds a dispatch credit."""
         self._register(vm)
+        if not self._queues[vm]:
+            # queue goes non-empty: pin the wfq start tag now.  An idle
+            # tenant re-enters at the current clock — it accrues no
+            # credit for the time it wasn't asking.
+            self._backlog_start[vm] = max(
+                self._vtime, self._finish.get(vm, 0.0)
+            )
         ev = self.sim.event(name=f"{self.name}:{vm}")
-        if self._free > 0 and not any(self._queues[v] for v in self._order):
-            self._free -= 1
-            self._grant(vm, ev)
-        else:
-            self._queues[vm].append(ev)
+        self._queues[vm].append(ev)
+        self._waiting += 1
+        self._pump()
+        if not ev.triggered:
+            self.waits += 1
         return ev
 
     def release(self, vm: str) -> None:
-        """Return ``vm``'s credit; hand it to the next waiting VM."""
+        """Return ``vm``'s credit; hand it to the policy's next pick."""
+        if self._free >= self.slots:
+            raise SimError(
+                f"{self.name}: credit released by {vm!r} with all "
+                f"{self.slots} slots already free (double release)"
+            )
         self._free += 1
-        n = len(self._order)
-        for k in range(n):
-            v = self._order[(self._next + k) % n]
-            queue = self._queues[v]
-            while queue:
-                ev = queue.popleft()
-                if ev.triggered:
-                    continue
-                self._free -= 1
-                self._next = (self._order.index(v) + 1) % n
-                self._grant(v, ev)
-                return
+        self._pump()
 
     def cancel(self, vm: str, ev: Event) -> None:
         """Abandon one pending acquire (its waiter was interrupted).
@@ -118,9 +212,109 @@ class CardArbiter:
         queue = self._queues.get(vm)
         if queue is not None and ev in queue:
             queue.remove(ev)
+            self._waiting -= 1
             return
         if ev.triggered:
             self.release(vm)
+
+    # -- policy core ---------------------------------------------------
+    def _pump(self) -> None:
+        """Grant free slots to waiters until one side runs dry."""
+        while self._free > 0 and self._waiting > 0:
+            vm = self._select()
+            if vm is None:  # pragma: no cover - counter drift guard
+                break
+            queue = self._queues[vm]
+            while queue:
+                ev = queue.popleft()
+                self._waiting -= 1
+                if ev.triggered:
+                    continue
+                self._free -= 1
+                self._grant(vm, ev)
+                break
+
+    def _select(self) -> Optional[str]:
+        """The waiting VM the active policy serves next (with its
+        rotor/virtual-clock accounting applied)."""
+        if self.policy == "wfq":
+            return self._select_wfq()
+        if self.policy == "priority":
+            return self._select_priority()
+        return self._select_rr()
+
+    def _rotor_start(self) -> int:
+        """Index to resume scanning from: just past the last grantee."""
+        if self._last is None:
+            return 0
+        return self._order.index(self._last) + 1
+
+    def _select_rr(self) -> Optional[str]:
+        n = len(self._order)
+        start = self._rotor_start()
+        for k in range(n):
+            v = self._order[(start + k) % n]
+            if self._queues[v]:
+                self._last = v
+                return v
+        return None
+
+    def _select_wfq(self) -> Optional[str]:
+        n = len(self._order)
+        best = None
+        best_tag = 0.0
+        effort = None
+        # walk from the rotor so equal tags (and best-effort tenants)
+        # rotate instead of always favouring the first-registered VM
+        start = self._rotor_start()
+        for k in range(n):
+            v = self._order[(start + k) % n]
+            if not self._queues[v]:
+                continue
+            w = self._weights.get(v, 1.0)
+            if w <= 0.0:
+                if effort is None:
+                    effort = v
+                continue
+            tag = max(
+                self._backlog_start.get(v, 0.0),
+                self._finish.get(v, 0.0),
+            ) + 1.0 / w
+            if best is None or tag < best_tag:
+                best, best_tag = v, tag
+        if best is not None:
+            start = best_tag - 1.0 / self._weights.get(best, 1.0)
+            if start > self._vtime:
+                self._vtime = start
+            self._finish[best] = best_tag
+            self._last = best
+            return best
+        if effort is not None:
+            self._last = effort
+            return effort
+        return None
+
+    def _select_priority(self) -> Optional[str]:
+        best_prio: Optional[int] = None
+        members: list[tuple[int, str]] = []
+        for i, v in enumerate(self._order):
+            if not self._queues[v]:
+                continue
+            p = self._prios.get(v, 0)
+            if best_prio is None or p < best_prio:
+                best_prio, members = p, [(i, v)]
+            elif p == best_prio:
+                members.append((i, v))
+        if best_prio is None:
+            return None
+        cursor = self._class_next.get(best_prio, 0)
+        for i, v in members:
+            if i >= cursor:
+                self._class_next[best_prio] = i + 1
+                return v
+        i, v = members[0]
+        self._class_next[best_prio] = i + 1
+        return v
 
     def _grant(self, vm: str, ev: Event) -> None:
         self.grants += 1
@@ -128,7 +322,10 @@ class CardArbiter:
         ev.succeed()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<CardArbiter slots={self.slots} free={self._free} grants={self.grants}>"
+        return (
+            f"<CardArbiter {self.policy} slots={self.slots} "
+            f"free={self._free} grants={self.grants}>"
+        )
 
 
 class WorkerPool:

@@ -51,8 +51,16 @@ class VPhiInstance:
         return f"<VPhiInstance {self.vm.name} {self.config.wait_mode}>"
 
 
-def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstance:
-    """Install vPHI into ``vm`` on ``machine``.  Returns the instance."""
+def install_vphi(machine, vm, config: Optional[VPhiConfig] = None,
+                 arbiter_policy: Optional[str] = None) -> VPhiInstance:
+    """Install vPHI into ``vm`` on ``machine``.  Returns the instance.
+
+    ``arbiter_policy`` selects the card arbiter's scheduling policy
+    (``"rr"`` | ``"wfq"`` | ``"priority"``) for the machine-wide arbiter
+    shared by every pooled VM on this machine; ``None`` keeps whatever
+    the arbiter already runs (``"rr"`` on first creation — the paper's
+    baseline, so the Fig 4/5 and A8-A11 goldens are untouched).
+    """
     if machine.kernel.scif_node is None:
         raise SimError("machine not booted: no host SCIF node")
     config = config or VPhiConfig()
@@ -84,6 +92,13 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None) -> VPhiInstan
         if arbiter is None:
             arbiter = CardArbiter(machine.sim, slots=machine.host_params.cores)
             machine.vphi_arbiter = arbiter
+        if arbiter_policy is not None:
+            arbiter.set_policy(arbiter_policy)
+        # the tenant's QoS identity lives in its own VPhiConfig; the
+        # shared arbiter learns it at install time (and re-learns it on
+        # reinstall — configure() is safe mid-flight).
+        arbiter.configure(vm.name, weight=config.qos_share,
+                          priority=config.qos_priority)
     backend = VPhiBackend(
         vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer,
         faults=faults, arbiter=arbiter,

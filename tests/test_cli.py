@@ -88,3 +88,52 @@ def test_profile_prints_stats_and_dumps_pstats(tmp_path, capsys):
 def test_profile_rejects_unknown_scenario():
     with pytest.raises(SystemExit):
         main(["profile", "fig9"])
+
+
+def test_qos_smoke_runs_and_renders(capsys):
+    assert main(["qos", "--tenants", "4", "--duration", "0.004",
+                 "--policy", "wfq"]) == 0
+    out = capsys.readouterr().out
+    assert "QoS report: policy=wfq" in out
+    assert "Jain's index" in out
+    assert "tenant-0" in out
+
+
+def test_qos_check_validates_and_asserts(tmp_path, capsys):
+    report_path = tmp_path / "slo.txt"
+    assert main(["qos", "--check", "--tenants", "4", "--duration", "0.004",
+                 "--assert-jain", "0.9", "--assert-shed",
+                 "--out", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "plan ok: 4 tenants" in out
+    assert "every arrival got a typed completion" in out
+    assert "QoS report" in report_path.read_text()
+
+
+def test_qos_check_plan_file_round_trip(tmp_path, capsys):
+    import json as _json
+
+    from repro.traffic import TrafficPlan
+
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(_json.dumps(
+        TrafficPlan.smoke(tenants=4, duration=0.004).to_dict()))
+    assert main(["qos", "--check", "--plan", str(plan_path)]) == 0
+    out = capsys.readouterr().out
+    assert "plan ok" in out
+
+
+def test_qos_invalid_plan_fails(tmp_path, capsys):
+    plan_path = tmp_path / "bad.json"
+    plan_path.write_text('{"tenants": [], "policy": "warp"}')
+    assert main(["qos", "--check", "--plan", str(plan_path)]) == 1
+    err = capsys.readouterr().err
+    assert "FAIL invalid plan" in err
+
+
+def test_qos_jain_assertion_can_fail(capsys):
+    # an impossible bar: weighted Jain can never exceed 1.0
+    assert main(["qos", "--tenants", "4", "--duration", "0.004",
+                 "--assert-jain", "1.1"]) == 1
+    err = capsys.readouterr().err
+    assert "weighted Jain's index" in err

@@ -1,0 +1,85 @@
+"""Arrival generators: determinism, statistics, serialization."""
+
+import pytest
+
+from repro.traffic import Diurnal, MMPP, Poisson, make_arrivals
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("proc", [
+        Poisson(rate=5000.0),
+        MMPP(rate=2000.0, burst_rate=20000.0, mean_quiet=0.01,
+             mean_burst=0.002),
+        Diurnal(rate=5000.0, amplitude=0.8, period=0.05),
+    ], ids=["poisson", "mmpp", "diurnal"])
+    def test_same_seed_same_stream(self, proc):
+        a = list(proc.times(seed=42, horizon=0.05))
+        b = list(proc.times(seed=42, horizon=0.05))
+        assert a == b
+        assert a, "a 5 kHz process must emit something in 50 ms"
+        c = list(proc.times(seed=43, horizon=0.05))
+        assert a != c, "different seeds must decorrelate"
+
+    def test_times_are_sorted_and_within_horizon(self):
+        for proc in (Poisson(1e4),
+                     MMPP(1e3, 1e5, 0.005, 0.001),
+                     Diurnal(1e4, amplitude=0.5, period=0.02)):
+            ts = list(proc.times(seed=1, horizon=0.02))
+            assert ts == sorted(ts)
+            assert all(0.0 < t <= 0.02 for t in ts)
+
+
+class TestStatistics:
+    def test_poisson_mean_rate(self):
+        n = Poisson(rate=10_000.0).count(seed=3, horizon=1.0)
+        assert 9_500 <= n <= 10_500  # ~5 sigma for a 10k-mean Poisson
+
+    def test_mmpp_is_burstier_than_poisson_at_same_mean(self):
+        """Matched mean rates: the two-state process must show higher
+        inter-arrival variance (that's the point of MMPP)."""
+        mmpp = MMPP(rate=1000.0, burst_rate=50_000.0, mean_quiet=0.01,
+                    mean_burst=0.01)
+        mean_rate = (1000.0 + 50_000.0) / 2
+        pois = Poisson(rate=mean_rate)
+
+        def cv2(ts):
+            gaps = [b - a for a, b in zip(ts, ts[1:])]
+            mu = sum(gaps) / len(gaps)
+            var = sum((g - mu) ** 2 for g in gaps) / len(gaps)
+            return var / (mu * mu)
+
+        assert cv2(list(mmpp.times(5, 1.0))) > 2 * cv2(list(pois.times(5, 1.0)))
+
+    def test_diurnal_peak_vs_trough(self):
+        """Arrivals concentrate around the sinusoid's peak."""
+        proc = Diurnal(rate=20_000.0, amplitude=0.9, period=1.0)
+        ts = list(proc.times(seed=9, horizon=1.0))
+        # rate(t) = r*(1 + a*sin(2*pi*t)): peak around t=0.25, trough 0.75
+        peak = sum(0.0 <= t < 0.5 for t in ts)
+        trough = sum(0.5 <= t < 1.0 for t in ts)
+        assert peak > 2 * trough
+
+
+class TestFactory:
+    def test_round_trip(self):
+        for proc in (Poisson(123.0),
+                     MMPP(10.0, 1000.0, 0.5, 0.05),
+                     Diurnal(99.0, amplitude=0.25, period=2.0)):
+            clone = make_arrivals(proc.to_dict())
+            assert type(clone) is type(proc)
+            assert clone.to_dict() == proc.to_dict()
+            assert (list(clone.times(7, 0.1)) == list(proc.times(7, 0.1)))
+
+    def test_unknown_kind_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            make_arrivals({"kind": "pareto", "rate": 1.0})
+
+    def test_unknown_keys_fail_loudly(self):
+        with pytest.raises(ValueError):
+            make_arrivals({"kind": "poisson", "rate": 1.0, "ratee": 2.0})
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Poisson(rate=0.0)
+        with pytest.raises(ValueError):
+            Diurnal(rate=10.0, amplitude=1.5)

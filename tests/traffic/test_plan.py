@@ -1,0 +1,124 @@
+"""Traffic plans: validation, expansion, serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.traffic import Poisson, TenantSpec, TrafficPlan, WorkloadMix
+from repro.traffic.plan import plan_check
+
+
+def simple_plan(**kw):
+    defaults = dict(
+        tenants=[TenantSpec(name="t", arrivals=Poisson(1000.0),
+                            mix=WorkloadMix.interactive(), count=3)],
+        policy="wfq", duration=0.01, seed=5,
+    )
+    defaults.update(kw)
+    return TrafficPlan(**defaults)
+
+
+class TestMix:
+    def test_presets_round_trip_by_name(self):
+        for name in WorkloadMix.PRESETS:
+            mix = getattr(WorkloadMix, name)()
+            assert mix.to_dict() == name
+            assert WorkloadMix.from_spec(name) == mix
+
+    def test_custom_mix_round_trips_as_dict(self):
+        mix = WorkloadMix("special", (("send", 128, 1.0),
+                                      ("rma_read", 4096, 2.0)))
+        d = mix.to_dict()
+        assert isinstance(d, dict)
+        assert WorkloadMix.from_spec(d) == mix
+
+    def test_draw_is_deterministic_and_valid(self):
+        import random
+        mix = WorkloadMix.mixed()
+        a = [mix.draw(random.Random(1)) for _ in range(5)]
+        b = [mix.draw(random.Random(1)) for _ in range(5)]
+        assert a == b
+        kinds = {k for k, _, _ in mix.items}
+        assert all(k in kinds for k, _ in a)
+
+    def test_bad_mixes_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            WorkloadMix("x", (("malloc", 64, 1.0),))
+        with pytest.raises(ValueError, match="no items"):
+            WorkloadMix("x", ())
+        with pytest.raises(ValueError, match="unknown mix preset"):
+            WorkloadMix.from_spec("interactiv")
+
+
+class TestPlanValidation:
+    def test_expansion_names_tenants(self):
+        plan = simple_plan()
+        assert [t.name for t in plan.expanded()] == ["t-0", "t-1", "t-2"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate tenant"):
+            TrafficPlan(tenants=[
+                TenantSpec(name="a", arrivals=Poisson(1.0),
+                           mix=WorkloadMix.interactive()),
+                TenantSpec(name="a", arrivals=Poisson(1.0),
+                           mix=WorkloadMix.interactive()),
+            ])
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            simple_plan(policy="fifo")
+        with pytest.raises(ValueError, match="duration"):
+            simple_plan(duration=0.0)
+        with pytest.raises(ValueError, match="no tenants"):
+            TrafficPlan(tenants=[])
+        with pytest.raises(ValueError, match="share must be >= 0"):
+            TenantSpec(name="x", arrivals=Poisson(1.0),
+                       mix=WorkloadMix.bulk(), share=-1.0)
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        plan = simple_plan(slots=4, admit_queue_depth=16)
+        clone = TrafficPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+        assert [t.name for t in clone.expanded()] == \
+            [t.name for t in plan.expanded()]
+
+    def test_file_round_trip(self, tmp_path):
+        plan = TrafficPlan.smoke(tenants=4)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_dict()))
+        clone = TrafficPlan.from_file(path)
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_bad_json_is_a_value_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            TrafficPlan.from_file(path)
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            TrafficPlan.from_dict({"tenants": [], "polcy": "rr"})
+
+    def test_unknown_tenant_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            TrafficPlan.from_dict({"tenants": [
+                {"name": "a", "arrivals": {"kind": "poisson", "rate": 1.0},
+                 "wight": 2}
+            ]})
+
+
+class TestPlanCheck:
+    def test_summary_lines(self):
+        plan = simple_plan()
+        lines = plan_check(plan)
+        assert lines[0].startswith("plan ok: 3 tenants")
+        assert any("t-0" in line for line in lines)
+
+    def test_smoke_plan_is_oversubscribed_and_armed(self):
+        plan = TrafficPlan.smoke(tenants=8, oversubscription=10.0)
+        assert plan.admit_queue_depth is not None
+        offered = sum(t.arrivals.rate for t in plan.expanded())
+        # capacity ~ slots / 10us per 1 KB send
+        assert offered >= 8 * plan.slots * 1e5

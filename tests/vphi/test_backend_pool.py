@@ -113,11 +113,11 @@ class TestCardArbiter:
         w0b = arb.acquire("vm0")
         w1 = arb.acquire("vm1")
         assert not (w0a.triggered or w0b.triggered or w1.triggered)
-        arb.release("vm0")       # round robin: vm0's first waiter
-        assert w0a.triggered and not w1.triggered
-        arb.release("vm0")       # then vm1's, not vm0's second
-        assert w1.triggered and not w0b.triggered
-        arb.release("vm1")
+        arb.release("vm0")       # vm0 just held the slot: vm1's turn
+        assert w1.triggered and not w0a.triggered
+        arb.release("vm1")       # rotation comes back to vm0
+        assert w0a.triggered and not w0b.triggered
+        arb.release("vm0")
         assert w0b.triggered
         arb.release("vm0")
         assert arb.free == arb.slots

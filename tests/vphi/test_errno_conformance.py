@@ -37,6 +37,7 @@ EXPECTED_ERRNOS = {
     "ENOTCONN": "ENOTCONN",
     "EISCONN": "EISCONN",
     "EAGAIN": "EAGAIN",
+    "EBUSY": "EBUSY",  # QoS admission control's shed back-pressure
     "ENXIO": "ENXIO",
     "ENOMEM": "ENOMEM",
     "EACCES": "EACCES",
