@@ -132,8 +132,31 @@ def _run_a12() -> dict:
     }
 
 
+def _run_a13() -> dict:
+    """A13: live-migration downtime vs journal size; churn vs SLO.
+
+    Cross-host journal-replay migration on a 2-host cluster: the
+    downtime series pins the per-journaled-op replay cost (the
+    scheduler prices moves by journal size); the churn series pins how
+    many fixed-cadence RMA rounds miss their SLO per migration (parked
+    at the fence, completed late, never errored).
+    """
+    from test_ablation_cluster import run_churn_ablation, run_downtime_ablation
+
+    downtime = run_downtime_ablation()
+    churn = run_churn_ablation()
+    return {
+        "figure": "a13",
+        "unit": "mixed",
+        "downtime_by_replayed_ops": [[ops, t] for _, ops, t, _ in downtime],
+        "violations_by_migrations": [[k, v] for k, v, _, _ in churn],
+        "completed_by_migrations": [[k, c] for k, _, c, _ in churn],
+        "errors_by_migrations": [[k, e] for k, _, _, e in churn],
+    }
+
+
 FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10,
-           "a11": _run_a11, "a12": _run_a12}
+           "a11": _run_a11, "a12": _run_a12, "a13": _run_a13}
 
 
 def canonical(series: dict) -> str:

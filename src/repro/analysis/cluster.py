@@ -1,0 +1,144 @@
+"""Cluster-run accounting: migration downtime + placement skew.
+
+Consumes what the cluster layer already records — the
+:class:`~repro.cluster.migrate.MigrationReport` list on a
+:class:`~repro.cluster.Cluster` and its scheduler's load map — and
+folds it into a print-ready report: per-phase downtime aggregates (the
+vPHI analogue of the classic pre-copy/stop-and-copy split), churn tally
+(migrations vs evictions), and the post-run placement picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "ClusterReport",
+    "MigrationStats",
+    "cluster_report",
+    "migration_stats",
+    "render_migration",
+]
+
+
+def _pct(xs: list, q: float) -> float:
+    if not xs:
+        return 0.0
+    xs = sorted(xs)
+    idx = min(len(xs) - 1, int(q * len(xs)))
+    return xs[idx]
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Aggregates over a cluster's completed live migrations."""
+
+    count: int
+    cross_host: int
+    broken: int
+    total_ops_replayed: int
+    total_pages_zapped: int
+    #: downtime distribution (s)
+    downtime_mean: float
+    downtime_p50: float
+    downtime_max: float
+    #: mean seconds per phase, over all migrations
+    phase_means: dict
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """One cluster run, summarized."""
+
+    hosts: int
+    cards: int
+    vms: int
+    evicted: int
+    failed_hosts: int
+    offline_cards: int
+    migration: MigrationStats
+    #: per-card share load at report time, keyed by ``str(CardRef)``
+    loads: dict
+    imbalance: float
+
+
+def migration_stats(cluster) -> MigrationStats:
+    """Fold the cluster's migration reports into one stats block."""
+    reports = cluster.migrations
+    downtimes = [r.downtime for r in reports]
+    phases: dict = {}
+    for r in reports:
+        for phase, t in r.phases.items():
+            phases[phase] = phases.get(phase, 0.0) + t
+    n = max(len(reports), 1)
+    return MigrationStats(
+        count=len(reports),
+        cross_host=sum(1 for r in reports if r.cross_host),
+        broken=sum(1 for r in reports if r.broken),
+        total_ops_replayed=sum(r.replayed_ops for r in reports),
+        total_pages_zapped=sum(r.pages_zapped for r in reports),
+        downtime_mean=sum(downtimes) / n,
+        downtime_p50=_pct(downtimes, 0.5),
+        downtime_max=max(downtimes, default=0.0),
+        phase_means={p: t / n for p, t in phases.items()},
+    )
+
+
+def cluster_report(cluster) -> ClusterReport:
+    sched = cluster.scheduler
+    return ClusterReport(
+        hosts=cluster.hosts,
+        cards=len(sched.loads),
+        vms=len(cluster.placements),
+        evicted=len(cluster.evicted),
+        failed_hosts=len(cluster.failed_hosts),
+        offline_cards=len(sched.offline),
+        migration=migration_stats(cluster),
+        loads={str(ref): load for ref, load in sorted(sched.loads.items())},
+        imbalance=sched.imbalance(),
+    )
+
+
+def _us(t: float) -> str:
+    return f"{t * 1e6:.1f}"
+
+
+def render_migration(cluster, limit: Optional[int] = 8) -> str:
+    """Migration + placement summary, print-ready."""
+    rep = cluster_report(cluster)
+    mig = rep.migration
+    lines = [
+        f"Cluster: {rep.hosts} hosts x {rep.cards // max(rep.hosts, 1)} "
+        f"cards, {rep.vms} VMs placed, {rep.evicted} evicted"
+        + (f", {rep.failed_hosts} failed hosts" if rep.failed_hosts else "")
+        + (f", {rep.offline_cards} offline cards" if rep.offline_cards
+           else ""),
+        f"  placement skew {rep.imbalance:.2f} shares  loads: "
+        + "  ".join(f"{ref}={load:g}" for ref, load in rep.loads.items()),
+        f"  migrations {mig.count} ({mig.cross_host} cross-host, "
+        f"{mig.broken} broken)  ops replayed {mig.total_ops_replayed}  "
+        f"pages zapped {mig.total_pages_zapped}",
+    ]
+    if mig.count:
+        lines.append(
+            f"  downtime us: mean {_us(mig.downtime_mean)}  "
+            f"p50 {_us(mig.downtime_p50)}  max {_us(mig.downtime_max)}"
+        )
+        lines.append(
+            "  phase means us: "
+            + "  ".join(f"{p}={_us(t)}"
+                        for p, t in mig.phase_means.items())
+        )
+        shown = cluster.migrations if limit is None else \
+            cluster.migrations[:limit]
+        for r in shown:
+            lines.append(
+                f"    {r.vm:<12} {str(r.source):>6} -> {str(r.dest):<6} "
+                f"ops={r.replayed_ops:<4} journal={r.journal_size:<4} "
+                f"downtime={_us(r.downtime)}us"
+            )
+        hidden = mig.count - len(shown)
+        if hidden > 0:
+            lines.append(f"    ... and {hidden} more migrations")
+    return "\n".join(lines)

@@ -7,6 +7,7 @@
     python -m repro stream --n 20000000 --iters 10 [--vm]
     python -m repro trace [--out vphi_trace.json] [--check]
     python -m repro qos [--plan plan.json] [--check] [--assert-jain 0.95]
+    python -m repro cluster [--hosts 2] [--cards 1] [--churn] [--check]
     python -m repro profile fig5 [--top 25] [--out fig5.pstats]
 
 Every command builds the paper's testbed (one 3120P), runs the workload
@@ -215,6 +216,156 @@ def _cmd_qos(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    """Run a small cluster scenario: place, load, live-migrate, churn.
+
+    Boots ``--hosts`` x ``--cards`` machines, places ``--vms`` echo
+    tenants by the ``--placement`` policy, exchanges traffic, then
+    live-migrates the first tenant to a scheduler-picked destination
+    mid-stream (and, with ``--churn``, hot-unplugs its new card so the
+    scheduler has to move it again).  Prints placements and the
+    migration report.  ``--check`` asserts the run's invariants —
+    migration landed (session ACTIVE on the destination, traffic
+    resumed, no stale arbiter state on the source) — and exits
+    non-zero on any violation; the cluster-smoke CI step is exactly
+    ``python -m repro cluster --check``.
+    """
+    from .analysis.cluster import render_migration
+    from .cluster import Cluster
+    from .scif.errors import ECONNRESET, ENOTCONN
+    from .vphi import VPhiConfig
+
+    cl = Cluster(hosts=args.hosts, cards_per_host=args.cards,
+                 placement=args.placement)
+    cl.boot()
+    PORT = 3000
+
+    def spawn_peer(ref):
+        m = cl.machine(ref)
+        lib = m.scif(m.card_process(f"peer-{ref}", card=ref.card))
+
+        def echo(conn):
+            try:
+                while True:
+                    data = yield from lib.recv(conn, 64)
+                    yield from lib.send(conn, data.tobytes()[::-1])
+            except (ECONNRESET, ENOTCONN):
+                return  # tenant migrated away or closed
+
+        def server():
+            ep = yield from lib.open()
+            yield from lib.bind(ep, PORT)
+            yield from lib.listen(ep)
+            # concurrent accept loop: a migrated-in tenant must not wait
+            # behind an idle resident connection
+            n = 0
+            while True:
+                conn, _ = yield from lib.accept(ep)
+                cl.sim.spawn(echo(conn), name=f"echo-{ref}-{n}")
+                n += 1
+
+        cl.sim.spawn(server(), name=f"peer-{ref}")
+
+    for ref in cl.cards:
+        spawn_peer(ref)
+
+    cfg = VPhiConfig(recovery_policy="queue", backend_workers=2)
+    vms, echoes = [], {}
+    for i in range(args.vms):
+        vms.append(cl.create_vm(f"vm{i}", vphi_config=cfg,
+                                arbiter_policy="wfq"))
+
+    def tenant(vm, rounds=6):
+        lib = vm.vphi.libscif(vm.guest_process("load"))
+        ep = yield from lib.open()
+        ref = cl.placement_of(vm.name)
+        yield from lib.connect(ep, (cl.node_of(ref), PORT))
+        payload = bytes(range(64))
+        n = 0
+        for _ in range(rounds):
+            try:
+                yield from lib.send(ep, payload)
+                got = (yield from lib.recv(ep, 64)).tobytes()
+                if got == payload[::-1]:
+                    n += 1
+            except (ECONNRESET, ENOTCONN):
+                break
+            yield cl.sim.timeout(2e-3)
+        echoes[vm.name] = n
+
+    for vm in vms:
+        cl.sim.spawn(tenant(vm), name=f"load-{vm.name}")
+
+    def director():
+        yield cl.sim.timeout(4e-3)  # mid-stream
+        yield from cl.migrate(vms[0])
+        if args.churn:
+            yield cl.sim.timeout(2e-3)
+            ref = cl.placement_of(vms[0].name)
+            yield from cl.hot_unplug(ref.host, ref.card)
+
+    cl.sim.spawn(director(), name="director")
+    cl.run(until=1.0)
+
+    for name, ref in sorted(cl.placements.items()):
+        print(f"  {name:<8} on {ref}  "
+              f"echoes={echoes.get(name, 0)}")
+    print()
+    print(render_migration(cl))
+
+    if not args.check:
+        return 0
+    failures = []
+    want_migrations = 2 if args.churn else 1
+    if len(cl.migrations) != want_migrations:
+        failures.append(
+            f"expected {want_migrations} migrations, saw {len(cl.migrations)}"
+        )
+    for rep in cl.migrations:
+        if rep.broken:
+            failures.append(f"migration of {rep.vm} broke the session")
+        if rep.replayed_ops < 2:
+            failures.append(
+                f"migration of {rep.vm} replayed only {rep.replayed_ops} ops"
+            )
+        if rep.downtime <= 0:
+            failures.append(f"migration of {rep.vm} reports zero downtime")
+    if cl.evicted:
+        failures.append(f"VMs evicted: {cl.evicted}")
+    for vm in vms:
+        ses = vm.vphi.frontend.session
+        if ses.state != "active":
+            failures.append(f"{vm.name} session is {ses.state}, not active")
+        if vm.vphi.frontend._inflight:
+            failures.append(f"{vm.name} stranded in-flight tags")
+        if echoes.get(vm.name, 0) < 6:
+            failures.append(
+                f"{vm.name} completed {echoes.get(vm.name, 0)}/6 echoes"
+            )
+    migrated = vms[0].name
+    src = cl.migrations[-1].source if cl.migrations else None
+    if src is not None and src != cl.placements.get(migrated):
+        arb = cl.machine(src).arbiter_for(src.card)
+        if migrated in arb._queues or migrated in arb._finish:
+            failures.append(
+                f"source arbiter {arb.name} kept stale state for {migrated}"
+            )
+    for m in cl.machines:
+        for arb in m.card_arbiters.values():
+            if arb.free != arb.slots:
+                failures.append(
+                    f"{arb.name} leaked credits: free={arb.free} "
+                    f"slots={arb.slots}"
+                )
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("\nok: migration landed, sessions active, arbiters clean")
+    return 0
+
+
 #: scenarios ``profile`` can drive: name -> zero-arg runner factory.
 #: Each runs one figure's full deterministic workload (the same code
 #: path the benchmark gates measure), so the profile reflects the real
@@ -299,6 +450,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify span invariants and trace-event schema; exit 1 on violation",
     )
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "cluster",
+        help="run a cluster placement + live-migration scenario",
+    )
+    p.add_argument("--hosts", type=int, default=2)
+    p.add_argument("--cards", type=int, default=1,
+                   help="cards per host (default 1)")
+    p.add_argument("--vms", type=int, default=3)
+    p.add_argument("--placement", choices=("spread", "pack"),
+                   default="spread")
+    p.add_argument("--churn", action="store_true",
+                   help="hot-unplug the migrated VM's card mid-run")
+    p.add_argument("--check", action="store_true",
+                   help="assert migration/arbiter invariants, exit "
+                        "non-zero on violation")
+    p.set_defaults(fn=_cmd_cluster)
 
     p = sub.add_parser(
         "qos", help="run an open-loop multi-tenant QoS plan, print SLO table"

@@ -1,0 +1,186 @@
+"""Placement: bin-packing VMs onto cards by ``qos_share``.
+
+The unit of capacity is the *share*: a VM's ``qos_share`` (the same
+number its card arbiter weighs wfq grants by) is how much of a card it
+occupies, so placement and runtime QoS argue about the same currency.
+Two policies:
+
+* ``"spread"`` — least-loaded card wins (ties break toward the lowest
+  ``(host, card)``), minimizing per-card contention.
+* ``"pack"`` — first card with headroom under ``capacity`` wins
+  (first-fit in card order), minimizing the number of cards in use —
+  the consolidation policy a power- or maintenance-driven operator
+  wants.  A VM that fits nowhere falls back to least-loaded (the pool
+  oversubscribes rather than refuses).
+
+Rebalancing is skew-driven: while the hottest card exceeds the coldest
+by more than the largest single share it carries (i.e. while one move
+could actually help), propose moving the smallest share off the hottest
+card onto the coldest.  The plan is advisory — the cluster executes it
+with live migrations, re-planning after each move.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import SimError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .topology import CardRef, Cluster
+
+__all__ = ["PlacementScheduler"]
+
+
+class PlacementScheduler:
+    """Assigns VMs to cards and proposes skew-correcting moves."""
+
+    POLICIES = ("spread", "pack")
+
+    def __init__(self, cluster: "Cluster", policy: str = "spread",
+                 capacity: Optional[float] = None):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown placement policy {policy!r} "
+                f"(choose from {self.POLICIES})"
+            )
+        self.cluster = cluster
+        self.policy = policy
+        #: pack-policy headroom per card, in shares.  Defaults to the
+        #: host's core count — one share per dispatch slot is the point
+        #: where the arbiter starts queueing.
+        self.capacity = (capacity if capacity is not None
+                         else float(cluster.machines[0].host_params.cores))
+        #: summed shares per card (every card, online or not).
+        self.loads: dict["CardRef", float] = {
+            ref: 0.0 for ref in cluster.cards
+        }
+        #: VM name -> (card, share).
+        self.assignments: dict[str, tuple] = {}
+        self.offline: set = set()
+        #: metrics
+        self.placed = 0
+        self.moves = 0
+
+    # ------------------------------------------------------------------
+    def online_cards(self, exclude=()) -> list:
+        return [ref for ref in self.loads
+                if ref not in self.offline and ref not in exclude]
+
+    def load_of(self, ref) -> float:
+        return self.loads[ref]
+
+    def share_of(self, name: str) -> float:
+        return self.assignments[name][1]
+
+    def vms_on(self, ref) -> list[str]:
+        return [n for n, (r, _) in self.assignments.items() if r == ref]
+
+    # ------------------------------------------------------------------
+    def _choose(self, share: float, candidates: list) -> Optional["CardRef"]:
+        if not candidates:
+            return None
+        if self.policy == "pack":
+            for ref in sorted(candidates):
+                if self.loads[ref] + share <= self.capacity:
+                    return ref
+            # nothing has headroom: oversubscribe the least-loaded card
+        return min(candidates, key=lambda r: (self.loads[r], r))
+
+    def place(self, name: str, share: float = 1.0) -> "CardRef":
+        """Pick a card for a new VM and record the assignment."""
+        if name in self.assignments:
+            raise SimError(f"VM {name!r} is already placed")
+        ref = self._choose(share, self.online_cards())
+        if ref is None:
+            raise SimError("no online cards to place on")
+        self.assign(name, ref, share)
+        return ref
+
+    def pick_dest(self, name: str, exclude=(),
+                  share: Optional[float] = None) -> Optional["CardRef"]:
+        """A migration destination for an existing VM (None = nowhere).
+
+        Unlike :meth:`place` this does *not* record anything — the move
+        is only real once the live migration lands (``move`` then).
+        """
+        if share is None:
+            share = self.assignments[name][1]
+        return self._choose(share, self.online_cards(exclude=exclude))
+
+    def assign(self, name: str, ref, share: float) -> None:
+        """Record an assignment made for us (explicit placement)."""
+        old = self.assignments.get(name)
+        if old is not None:
+            self.loads[old[0]] -= old[1]
+        self.assignments[name] = (ref, share)
+        self.loads[ref] += share
+        self.placed += 1
+
+    def move(self, name: str, dest) -> None:
+        """Re-home one VM's share (called when its migration lands)."""
+        ref, share = self.assignments[name]
+        if ref == dest:
+            return
+        self.loads[ref] -= share
+        self.loads[dest] += share
+        self.assignments[name] = (dest, share)
+        self.moves += 1
+
+    def release(self, name: str) -> None:
+        """Forget a VM (evicted or destroyed)."""
+        entry = self.assignments.pop(name, None)
+        if entry is not None:
+            self.loads[entry[0]] -= entry[1]
+
+    def set_offline(self, ref, offline: bool = True) -> None:
+        if offline:
+            self.offline.add(ref)
+        else:
+            self.offline.discard(ref)
+
+    # ------------------------------------------------------------------
+    def imbalance(self) -> float:
+        """Hottest-minus-coldest load over the online cards."""
+        online = self.online_cards()
+        if len(online) < 2:
+            return 0.0
+        loads = [self.loads[r] for r in online]
+        return max(loads) - min(loads)
+
+    def rebalance_plan(self) -> list[tuple]:
+        """Skew-correcting moves: ``[(vm, src, dest), ...]`` (greedy).
+
+        Simulated against a copy of the loads; a move is proposed only
+        while it strictly reduces the hot-cold gap, so the plan always
+        terminates and never ping-pongs a VM.
+        """
+        online = self.online_cards()
+        if len(online) < 2:
+            return []
+        loads = {r: self.loads[r] for r in online}
+        homes = {n: (r, s) for n, (r, s) in self.assignments.items()
+                 if r in loads}
+        plan: list[tuple] = []
+        while True:
+            hot = max(online, key=lambda r: (loads[r], r))
+            cold = min(online, key=lambda r: (loads[r], r))
+            gap = loads[hot] - loads[cold]
+            movable = sorted(
+                ((s, n) for n, (r, s) in homes.items() if r == hot and s > 0),
+            )
+            # moving share s changes the gap by 2s: profitable iff s < gap
+            best = next(((s, n) for s, n in movable if s < gap), None)
+            if best is None:
+                return plan
+            share, name = best
+            loads[hot] -= share
+            loads[cold] += share
+            homes[name] = (cold, share)
+            plan.append((name, hot, cold))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PlacementScheduler {self.policy} cards={len(self.loads)} "
+            f"vms={len(self.assignments)} skew={self.imbalance():.2f}>"
+        )

@@ -63,6 +63,14 @@ class Injection:
             return ESHUTDOWN(
                 f"vphi backend restarted mid-operation (injected at {self.time:g}s)"
             )
+        if self.kind == FaultKind.CARD_UNPLUG:
+            from ..scif.errors import ENXIO
+
+            return ENXIO(f"card hot-unplugged (at {self.time:g}s)")
+        if self.kind == FaultKind.HOST_FAIL:
+            from ..scif.errors import ENXIO
+
+            return ENXIO(f"host failed (at {self.time:g}s)")
         return self.spec.errno(
             f"host scif syscall failed (injected {self.spec.errno.__name__} "
             f"at {self.time:g}s)"
@@ -119,6 +127,16 @@ class FaultInjector:
         if backend not in self.backends:
             self.backends.append(backend)
 
+    def detach_backend(self, backend) -> None:
+        """Forget a backend (its VM migrated off this machine).
+
+        A migrated-away backend must stop hearing this machine's
+        CARD_RESET broadcasts — the card it would invalidate against is
+        no longer the one underneath its VM.
+        """
+        if backend in self.backends:
+            self.backends.remove(backend)
+
     @property
     def active(self) -> bool:
         """Whether any spec is armed (False for the fault-free plan)."""
@@ -168,6 +186,33 @@ class FaultInjector:
                     link.flap(spec.outage)
             return inj
         return None
+
+    def fire(self, kind: str, vm: Optional[str] = None,
+             op: Optional[str] = None,
+             duration: Optional[float] = None) -> Injection:
+        """Push-fire one fault outside any draw cadence.
+
+        Cluster churn (card hot-unplug, host failure) is *commanded* by
+        the topology layer, not sampled on a datapath, but it must still
+        land in the same audit trail — ``log`` order, tracer counters,
+        ``fires_of`` — that the pull-based plans feed, so a chaos run's
+        post-mortem sees one interleaved fault history.
+        """
+        from .plan import SITE_FOR_KIND, FaultSpec
+
+        if kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        spec = FaultSpec(kind=kind, vm=vm, op=op, duration=duration)
+        now = self.sim.now if self.sim is not None else 0.0
+        inj = Injection(
+            kind=kind, spec=spec, site=SITE_FOR_KIND[kind], time=now,
+            op=op, vm=vm, seq=len(self.log),
+        )
+        self.log.append(inj)
+        if self.tracer is not None:
+            self.tracer.count("faults.injected")
+            self.tracer.count(f"faults.injected.{kind}")
+        return inj
 
     def fires_of(self, kind: str) -> int:
         """Total injections of one kind so far (assertion helper)."""

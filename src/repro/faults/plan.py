@@ -85,9 +85,20 @@ class FaultKind:
     #: host endpoints die with ESHUTDOWN and the session must rebuild,
     #: but only the triggering VM is affected.
     BACKEND_RESTART = "backend_restart"
+    #: a card is administratively removed from its host (SVFF-style
+    #: planned detach): the cluster scheduler live-migrates its VMs away
+    #: before the capacity disappears.  Cluster-level churn — fired by
+    #: :meth:`~repro.cluster.Cluster.hot_unplug` through the injector's
+    #: push API rather than drawn on a datapath.
+    CARD_UNPLUG = "card_unplug"
+    #: a whole host dies abruptly: every VM on it is evicted (session
+    #: BROKEN, in-flight work aborted with ENXIO) and its cards leave
+    #: the placement pool.  Also push-fired, by
+    #: :meth:`~repro.cluster.Cluster.fail_host`.
+    HOST_FAIL = "host_fail"
 
     ALL = (LINK_FLAP, SCIF_ERROR, RING_CORRUPT, WORKER_DEATH, CARD_RESET,
-           BACKEND_RESTART)
+           BACKEND_RESTART, CARD_UNPLUG, HOST_FAIL)
 
 
 class FaultSite:
@@ -101,6 +112,10 @@ class FaultSite:
     RING_POP = "virtio.ring.pop"
     #: per-ioctl draw in the host chardev (the native, non-vPHI path).
     HOST_IOCTL = "host.scif.ioctl"
+    #: cluster churn events (push-fired by the topology layer, never
+    #: drawn on a datapath — there is no per-op hot path for "a card
+    #: left the machine").
+    CLUSTER_CHURN = "cluster.churn"
 
 
 #: which site each fault kind fires at.
@@ -111,6 +126,8 @@ SITE_FOR_KIND = {
     FaultKind.WORKER_DEATH: FaultSite.BACKEND_DISPATCH,
     FaultKind.CARD_RESET: FaultSite.BACKEND_DISPATCH,
     FaultKind.BACKEND_RESTART: FaultSite.BACKEND_DISPATCH,
+    FaultKind.CARD_UNPLUG: FaultSite.CLUSTER_CHURN,
+    FaultKind.HOST_FAIL: FaultSite.CLUSTER_CHURN,
 }
 
 #: default outage/respawn duration per kind (simulated seconds).
@@ -121,6 +138,8 @@ DEFAULT_DURATION = {
     FaultKind.WORKER_DEATH: 500e-6,
     FaultKind.CARD_RESET: 1e-3,
     FaultKind.BACKEND_RESTART: 2e-3,
+    FaultKind.CARD_UNPLUG: 5e-3,
+    FaultKind.HOST_FAIL: 0.0,
 }
 
 

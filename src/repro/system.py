@@ -59,6 +59,10 @@ class Machine:
         self.faults = FaultInjector(fault_plan, self.sim, self.tracer)
         for dev in self.devices:
             self.faults.attach_link(dev.link)
+        #: per-card dispatch arbiters, created lazily by
+        #: :meth:`arbiter_for` (card 0's doubles as the legacy
+        #: ``vphi_arbiter`` attribute).
+        self.card_arbiters: dict = {}
         self._booted = False
 
     # ------------------------------------------------------------------
@@ -94,12 +98,17 @@ class Machine:
         vcpus: int = 1,
         vphi_config=None,
         kvm_modified: bool = True,
+        card: int = 0,
+        arbiter_policy=None,
     ):
         """Spawn a QEMU-KVM guest with vPHI installed.
 
         Returns the :class:`~repro.kvm.VirtualMachine`; its ``vphi``
         attribute is the installed :class:`~repro.vphi.VPhiInstance`
         (``vm.vphi.libscif(guest_process)`` gives the guest's libscif).
+        ``card`` picks which of this machine's cards the VM's pooled
+        dispatch arbitrates against (card sharing is per card, not per
+        machine).
         """
         from .kvm import VirtualMachine
         from .vphi import install_vphi
@@ -110,8 +119,38 @@ class Machine:
             self.sim, self.kernel, name=name, ram_bytes=ram_bytes,
             vcpus=vcpus, kvm_modified=kvm_modified,
         )
-        install_vphi(self, vm, config=vphi_config)
+        install_vphi(self, vm, config=vphi_config, card=card,
+                     arbiter_policy=arbiter_policy)
         return vm
+
+    def arbiter_for(self, card: int = 0, slots=None, policy=None):
+        """The dispatch arbiter for one card, created on first use.
+
+        Card 0's arbiter is also published as ``machine.vphi_arbiter``
+        — the legacy machine-wide attribute from the one-card era — and
+        a pre-existing ``vphi_arbiter`` (the traffic harness pre-creates
+        one with plan-specific slots/policy) is adopted as card 0's, so
+        both spellings always name the same object.
+        """
+        from .vphi.pool import CardArbiter
+
+        arb = self.card_arbiters.get(card)
+        if arb is None and card == 0:
+            arb = getattr(self, "vphi_arbiter", None)
+            if arb is not None:
+                self.card_arbiters[0] = arb
+        if arb is None:
+            arb = CardArbiter(
+                self.sim,
+                slots=slots if slots is not None else self.host_params.cores,
+                name=f"vphi-arbiter-c{card}",
+            )
+            self.card_arbiters[card] = arb
+            if card == 0:
+                self.vphi_arbiter = arb
+        if policy is not None:
+            arb.set_policy(policy)
+        return arb
 
     def host_process(self, name: str) -> OSProcess:
         """Create a host user process."""

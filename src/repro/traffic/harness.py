@@ -75,6 +75,8 @@ class HarnessResult:
     t_start: float = 0.0
     #: simulated time the last completion landed.
     t_end: float = 0.0
+    #: the Cluster the plan ran on (None for single-machine plans).
+    cluster: object = None
 
     @property
     def arbiter(self) -> Optional[CardArbiter]:
@@ -83,6 +85,21 @@ class HarnessResult:
     @property
     def duration(self) -> float:
         return self.plan.duration
+
+    def arbiters(self) -> list[CardArbiter]:
+        """Every card arbiter the run dispatched through."""
+        machines = (self.cluster.machines if self.cluster is not None
+                    else [self.machine])
+        out: list[CardArbiter] = []
+        for m in machines:
+            per_card = getattr(m, "card_arbiters", None)
+            if per_card:
+                out.extend(per_card.values())
+            else:
+                arb = getattr(m, "vphi_arbiter", None)
+                if arb is not None:
+                    out.append(arb)
+        return out
 
     def check_conservation(self) -> None:
         """Every offered arrival got exactly one typed outcome."""
@@ -94,21 +111,26 @@ class HarnessResult:
                     f"arrivals (completed={load.completed} "
                     f"shed={load.shed} errors={load.errors})"
                 )
+        arbiters = self.arbiters()
         arb = self.arbiter
-        if arb is not None and arb.free != arb.slots:
-            raise AssertionError(
-                f"arbiter leaked credits: free={arb.free} slots={arb.slots}"
-            )
+        if arb is not None and arb not in arbiters:
+            arbiters.append(arb)
+        for arb in arbiters:
+            if arb.free != arb.slots:
+                raise AssertionError(
+                    f"{arb.name} leaked credits: "
+                    f"free={arb.free} slots={arb.slots}"
+                )
 
 
-def _spawn_peer(machine, port: int, window: int):
+def _spawn_peer(machine, port: int, window: int, card: int = 0):
     """Card-side peer: accept one tenant, register a read/write window.
 
     Fulfils ``ready`` with the registered offset; sends from the tenant
     land in the endpoint's rx FIFO (no drain loop needed — SCIF sends
     complete on enqueue + ack, exactly like the A10 server shape).
     """
-    sproc = machine.card_process(f"qos-peer-{port}")
+    sproc = machine.card_process(f"qos-peer-{port}", card=card)
     slib = machine.scif(sproc)
     ready = machine.sim.event()
 
@@ -148,7 +170,8 @@ def _one_request(lib, ep, vma, roff, kind: str, nbytes: int, payload,
 
 
 def _tenant(machine, vm, spec: TenantSpec, port: int, ready, gate,
-            seed: int, duration: float, load: TenantLoad):
+            seed: int, duration: float, load: TenantLoad,
+            node: Optional[int] = None):
     """Connection setup, then the open-loop pacer."""
     gproc = vm.guest_process(f"{spec.name}-load")
     lib = vm.vphi.libscif(gproc)
@@ -157,10 +180,11 @@ def _tenant(machine, vm, spec: TenantSpec, port: int, ready, gate,
     payload = np.zeros(max(n for k, n, _ in spec.mix.items if k == "send")
                        if any(k == "send" for k, _, _ in spec.mix.items)
                        else 1, dtype=np.uint8)
+    peer_node = machine.card_node_id(0) if node is None else node
 
     def pacer():
         ep = yield from lib.open()
-        yield from lib.connect(ep, (machine.card_node_id(0), port))
+        yield from lib.connect(ep, (peer_node, port))
         roff = yield ready
         vma = gproc.address_space.mmap(window, populate=True)
         gate.arrive()
@@ -197,14 +221,23 @@ class _Gate:
 
 
 def run_plan(plan: TrafficPlan, machine: Optional[Machine] = None,
-             ) -> HarnessResult:
+             cluster=None) -> HarnessResult:
     """Stand up the machine, drive the plan, return the result.
 
     Deterministic in ``plan.seed``: tenant ``i`` draws its arrival and
     mix streams from ``seed * 1_000_003 + i``, so two runs of the same
     plan produce identical traces (the chaos harness replays failures
     by seed alone).
+
+    A plan whose :attr:`~repro.traffic.plan.TrafficPlan.is_cluster` is
+    true (or an explicit ``cluster=``) runs on a
+    :class:`~repro.cluster.Cluster` instead: tenants placed across
+    cards by the plan's placement policy, each dispatching through its
+    own card's arbiter.  The single-machine path below is untouched by
+    the cluster fields, so existing plans produce identical traces.
     """
+    if cluster is not None or plan.is_cluster:
+        return _run_cluster_plan(plan, cluster)
     if machine is None:
         machine = Machine(cards=1).boot()
     tenants = plan.expanded()
@@ -249,3 +282,62 @@ def run_plan(plan: TrafficPlan, machine: Optional[Machine] = None,
         t_end=machine.sim.now,
     )
     return result
+
+
+def _run_cluster_plan(plan: TrafficPlan, cluster=None) -> HarnessResult:
+    """The cluster flavour of :func:`run_plan`.
+
+    Tenants are placed onto cards by the cluster's scheduler; each gets
+    a peer on *its own* card (connect addresses resolve through
+    :meth:`Cluster.node_of`), and dispatches through that card's
+    arbiter under the plan's policy.  Conservation then quantifies over
+    every card arbiter the run touched.
+    """
+    from ..cluster import Cluster
+
+    if cluster is None:
+        cluster = Cluster(hosts=plan.hosts,
+                          cards_per_host=plan.cards_per_host,
+                          placement=plan.placement)
+        cluster.boot()
+    slots = plan.slots or cluster.machines[0].host_params.cores
+    # pre-create every card arbiter at the plan's slot count + policy
+    for ref in cluster.cards:
+        cluster.machine(ref).arbiter_for(ref.card, slots=slots,
+                                         policy=plan.policy)
+    tenants = plan.expanded()
+    gate = _Gate(cluster.sim, len(tenants))
+    loads: list[TenantLoad] = []
+    pacers = []
+    for i, spec in enumerate(tenants):
+        cfg = VPhiConfig(
+            backend_workers=plan.backend_workers,
+            max_inflight=plan.max_inflight,
+            qos_share=spec.share,
+            qos_priority=spec.priority,
+            admit_queue_depth=plan.admit_queue_depth,
+            admit_latency=plan.admit_latency,
+        )
+        vm = cluster.create_vm(spec.name, ram_bytes=TENANT_RAM,
+                               vphi_config=cfg)
+        ref = cluster.placement_of(spec.name)
+        machine = cluster.machine(ref)
+        port = PORT_BASE + i
+        window = max(spec.mix.max_nbytes, 4096)
+        ready = _spawn_peer(machine, port, window, card=ref.card)
+        load = TenantLoad(spec=spec, vm=vm)
+        loads.append(load)
+        seed = plan.seed * 1_000_003 + i
+        pacers.append(_tenant(machine, vm, spec, port, ready, gate, seed,
+                              plan.duration, load,
+                              node=cluster.node_of(ref)))
+    cluster.run()
+    for pacer, load in zip(pacers, loads):
+        if not pacer.triggered:
+            raise AssertionError(f"tenant {load.name!r} pacer deadlocked")
+    return HarnessResult(
+        plan=plan, machine=cluster.machines[0], loads=loads,
+        t_start=gate.open.value if gate.open.triggered else 0.0,
+        t_end=cluster.sim.now,
+        cluster=cluster,
+    )

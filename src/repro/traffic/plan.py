@@ -203,6 +203,12 @@ class TrafficPlan:
     #: admission watermarks applied to every tenant (None = no shedding).
     admit_queue_depth: Optional[int] = None
     admit_latency: Optional[float] = None
+    #: cluster target: anything beyond 1x1 runs the plan on a
+    #: :class:`~repro.cluster.Cluster` instead of a single machine,
+    #: placing tenants by ``placement`` policy.
+    hosts: int = 1
+    cards_per_host: int = 1
+    placement: str = "spread"
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -214,6 +220,13 @@ class TrafficPlan:
             raise ValueError("plan has no tenants")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.hosts < 1 or self.cards_per_host < 1:
+            raise ValueError("hosts and cards_per_host must be >= 1")
+        if self.placement not in ("spread", "pack"):
+            raise ValueError(
+                f"unknown placement {self.placement!r} "
+                "(choose from ('spread', 'pack'))"
+            )
         if self.slots is not None and self.slots < 1:
             raise ValueError("slots must be >= 1 (or None for host cores)")
         if self.backend_workers < 1:
@@ -239,7 +252,7 @@ class TrafficPlan:
             raise ValueError(f"plan must be a dict, got {type(d).__name__}")
         known = {"tenants", "policy", "duration", "seed", "slots",
                  "backend_workers", "max_inflight", "admit_queue_depth",
-                 "admit_latency"}
+                 "admit_latency", "hosts", "cards_per_host", "placement"}
         unknown = set(d) - known
         if unknown:
             raise ValueError(f"plan: unknown keys {sorted(unknown)}")
@@ -271,7 +284,16 @@ class TrafficPlan:
             d["admit_queue_depth"] = self.admit_queue_depth
         if self.admit_latency is not None:
             d["admit_latency"] = self.admit_latency
+        if self.is_cluster:
+            d["hosts"] = self.hosts
+            d["cards_per_host"] = self.cards_per_host
+            d["placement"] = self.placement
         return d
+
+    @property
+    def is_cluster(self) -> bool:
+        """True when the plan targets more than one card."""
+        return self.hosts > 1 or self.cards_per_host > 1
 
     # -- canned plans --------------------------------------------------
     @classmethod
@@ -318,4 +340,9 @@ def plan_check(plan: TrafficPlan) -> list[str]:
         f"plan ok: {len(expanded)} tenants, policy={plan.policy}, "
         f"duration={plan.duration:g}s, seed={plan.seed}"
     ))
+    if plan.is_cluster:
+        lines.insert(1, (
+            f"  cluster: {plan.hosts} hosts x {plan.cards_per_host} cards, "
+            f"placement={plan.placement}"
+        ))
     return lines

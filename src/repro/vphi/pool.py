@@ -174,6 +174,48 @@ class CardArbiter:
             self._queues[vm] = deque()
             self._order.append(vm)
 
+    def deregister(self, vm: str) -> bool:
+        """Drop one tenant's scheduling state (it left this card).
+
+        Live migration moves a VM from one card's arbiter to another; the
+        *source* arbiter must forget everything about it — its place in
+        the selection order, its wfq virtual finish tag and backlog
+        stamp, and its weight/priority — or the rotor keeps a ghost slot
+        and, worse, the VM would carry a stale wfq start tag back if it
+        ever migrated home.  The destination arbiter meets the VM as a
+        brand-new tenant (``configure`` registers it fresh).
+
+        Only an *idle* tenant can be deregistered: the migration path
+        quiesces in-flight work first, so pending acquires here mean the
+        caller skipped the drain — a bug worth failing loudly on.
+        Returns False when the VM was never registered (idempotent).
+        """
+        queue = self._queues.get(vm)
+        if queue is None:
+            return False
+        if queue:
+            raise SimError(
+                f"{self.name}: deregister({vm!r}) with {len(queue)} "
+                "pending acquires — drain the tenant before migrating it"
+            )
+        idx = self._order.index(vm)
+        if self._last == vm:
+            # re-anchor the rotor to the predecessor so the scan resumes
+            # exactly where it would have (the successor is next).
+            self._last = self._order[idx - 1] if len(self._order) > 1 else None
+        self._order.pop(idx)
+        # per-class cursors index into _order; close the gap they span.
+        self._class_next = {
+            p: (c - 1 if c > idx else c)
+            for p, c in self._class_next.items()
+        }
+        del self._queues[vm]
+        self._weights.pop(vm, None)
+        self._prios.pop(vm, None)
+        self._finish.pop(vm, None)
+        self._backlog_start.pop(vm, None)
+        return True
+
     def acquire(self, vm: str) -> Event:
         """An event firing once ``vm`` holds a dispatch credit."""
         self._register(vm)

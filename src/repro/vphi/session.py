@@ -243,6 +243,11 @@ class SessionManager:
         self.queued_submits = 0
         self.rejected_submits = 0
         self.rebuild_times: list[float] = []
+        #: completed live migrations (cluster layer bumps via resume()).
+        self.migrations = 0
+        #: guest pages zapped while re-establishing mmaps (EPT refault
+        #: volume — the "remap" share of a rebuild or migration).
+        self.zapped_pages = 0
 
     # ------------------------------------------------------------------
     @property
@@ -464,7 +469,7 @@ class SessionManager:
                     # the next guest access faults through the KVM MMU
                     # into the re-registered window.
                     mm.vma.private = info
-                    self.vm.mmu.zap_vma(mm.space, mm.vma)
+                    self.zapped_pages += self.vm.mmu.zap_vma(mm.space, mm.vma)
         except EStaleEpoch:
             raise
         except ScifError as err:
@@ -475,6 +480,115 @@ class SessionManager:
             self.tracer.emit("vphi.timeline", "endpoint replay abandoned",
                              handle=rec.handle, error=type(err).__name__,
                              vm=self.vm.name)
+
+    # ------------------------------------------------------------------
+    # live migration (driven by repro.cluster.migrate.live_migrate)
+    # ------------------------------------------------------------------
+    #: polling grain while waiting for in-flight tags to drain.
+    QUIESCE_POLL = 10e-6
+
+    def begin_migration(self, dest: str) -> None:
+        """Stop admitting new work: the session enters RECOVERING.
+
+        New submits park at the degraded-mode gate exactly as they do
+        during a reset rebuild (queue policy) — from the guest's point
+        of view a migration *is* a very polite card reset.  Requires an
+        ACTIVE session; the migration driver awaits one first.
+        """
+        if not self.enabled:
+            raise EStaleEpoch(
+                f"{self.vm.name}: live migration needs session recovery "
+                "(recovery_policy != 'none') — there is no journal to replay"
+            )
+        if self.state != ACTIVE:
+            raise EStaleEpoch(
+                f"{self.vm.name}: cannot migrate a {self.state} session"
+            )
+        self.state = RECOVERING
+        self.tracer.count("vphi.session.migration_started")
+        self.tracer.emit("vphi.timeline", "migration started",
+                         dest=dest, epoch=self.epoch, vm=self.vm.name)
+
+    def quiesce(self):
+        """Process: drain every in-flight tag before the fence.
+
+        With the gate closed no new tags appear; waiting for the last
+        outstanding completion means the fence below aborts *nothing* —
+        every op submitted before the migration finishes with its real
+        result, whatever its idempotency class.  (A reset can't afford
+        this courtesy; a planned migration can.)
+        """
+        fe = self.frontend
+        while fe._inflight:
+            yield self.sim.timeout(self.QUIESCE_POLL)
+
+    def fence_migration(self, dest: str) -> None:
+        """Bump the epoch so any straggler completes as stale."""
+        self._fence_and_abort(f"migration to {dest}")
+
+    def rewrite_peers(self, node_map: dict) -> int:
+        """Point journaled connect addresses at the destination card.
+
+        SCIF addressing is what makes migration a journal rewrite: the
+        card a session talks to is named *only* by the ``(node, port)``
+        tuples in its connect records.  Mapping the source card's node
+        id to the destination's makes the very same replay machinery
+        rebuild the session against the new card.
+        """
+        rewritten = 0
+        for rec in self.journal.endpoints.values():
+            if rec.addr is not None and rec.addr[0] in node_map:
+                rec.addr = (node_map[rec.addr[0]], rec.addr[1])
+                rewritten += 1
+        return rewritten
+
+    def replay_journal(self):
+        """Process: replay the journal until the epoch holds steady.
+
+        The migration-side twin of :meth:`_recover`'s loop (without the
+        settle delay — the destination card is alive and waiting): a
+        concurrent reset fencing the epoch mid-replay restarts the
+        round; a circuit-break leaves the session BROKEN.
+        """
+        while True:
+            round_epoch = self.epoch
+            try:
+                yield from self._replay_all(round_epoch)
+            except EStaleEpoch:
+                if self.state == BROKEN:
+                    return
+                yield self.sim.timeout(self.frontend.config.recovery_settle)
+                continue
+            if self.epoch != round_epoch:
+                continue
+            return
+
+    def resume(self) -> None:
+        """Reopen the gate: the session is live on the destination."""
+        if self.state == BROKEN:
+            return
+        self.state = ACTIVE
+        self.migrations += 1
+        self.tracer.count("vphi.session.migrated")
+        self.rebuilt.wake_all(
+            per_waiter_cost=self.frontend.costs.wakeup_per_waiter
+        )
+
+    def force_broken(self, cause: str) -> None:
+        """Evict the session (host failure): fence and open the circuit.
+
+        Unlike a reset there is nothing to rebuild against — in-flight
+        tags abort with EStaleEpoch, parked submitters wake into the
+        BROKEN error, and every later submit fails typed and fast.
+        """
+        if not self.enabled:
+            return
+        self._fence_and_abort(cause)
+        self.state = BROKEN
+        self.tracer.count("vphi.session.evicted")
+        self.tracer.emit("vphi.timeline", "session evicted",
+                         cause=cause, vm=self.vm.name)
+        self.rebuilt.wake_all()
 
     def _replay_op(self, op: VPhiOp, handle: int = 0,
                    args: Optional[dict] = None):

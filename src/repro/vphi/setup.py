@@ -27,7 +27,7 @@ class VPhiInstance:
     """One VM's installed vPHI stack."""
 
     def __init__(self, vm, virtio: VirtioDevice, frontend: VPhiFrontend,
-                 backend: VPhiBackend, config: VPhiConfig):
+                 backend: VPhiBackend, config: VPhiConfig, card: int = 0):
         if frontend.tracer is not backend.tracer:
             raise SimError(
                 f"{vm.name}: vPHI frontend and backend use different tracers; "
@@ -38,6 +38,9 @@ class VPhiInstance:
         self.frontend = frontend
         self.backend = backend
         self.config = config
+        #: the card this VM's dispatch arbitrates against (live migration
+        #: rewrites it when the VM moves).
+        self.card = card
 
     def libscif(self, guest_process) -> GuestScif:
         """The guest's libscif for one guest user process."""
@@ -52,14 +55,17 @@ class VPhiInstance:
 
 
 def install_vphi(machine, vm, config: Optional[VPhiConfig] = None,
-                 arbiter_policy: Optional[str] = None) -> VPhiInstance:
+                 arbiter_policy: Optional[str] = None,
+                 card: int = 0) -> VPhiInstance:
     """Install vPHI into ``vm`` on ``machine``.  Returns the instance.
 
     ``arbiter_policy`` selects the card arbiter's scheduling policy
-    (``"rr"`` | ``"wfq"`` | ``"priority"``) for the machine-wide arbiter
-    shared by every pooled VM on this machine; ``None`` keeps whatever
+    (``"rr"`` | ``"wfq"`` | ``"priority"``) for the per-card arbiter
+    shared by every pooled VM on that card; ``None`` keeps whatever
     the arbiter already runs (``"rr"`` on first creation — the paper's
     baseline, so the Fig 4/5 and A8-A11 goldens are untouched).
+    ``card`` names the card whose arbiter this VM joins (one host can
+    carry several cards; credit fairness is per card, not per machine).
     """
     if machine.kernel.scif_node is None:
         raise SimError("machine not booted: no host SCIF node")
@@ -83,17 +89,22 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None,
         vm, virtio, config=config, host_params=machine.host_params,
         tracer=vm.tracer, faults=faults,
     )
-    # all pooled VMs on this machine share one dispatch arbiter — that is
-    # what makes the round-robin fairness *per card*, not per VM.  Lazily
+    # all pooled VMs on one card share one dispatch arbiter — that is
+    # what makes the credit fairness *per card*, not per VM.  Lazily
     # created so blocking-mode machines carry no arbiter at all.
     arbiter = None
     if config.pooled:
-        arbiter = getattr(machine, "vphi_arbiter", None)
-        if arbiter is None:
-            arbiter = CardArbiter(machine.sim, slots=machine.host_params.cores)
-            machine.vphi_arbiter = arbiter
-        if arbiter_policy is not None:
-            arbiter.set_policy(arbiter_policy)
+        arbiter_for = getattr(machine, "arbiter_for", None)
+        if arbiter_for is not None:
+            arbiter = arbiter_for(card, policy=arbiter_policy)
+        else:  # duck-typed machine without the per-card helper
+            arbiter = getattr(machine, "vphi_arbiter", None)
+            if arbiter is None:
+                arbiter = CardArbiter(machine.sim,
+                                      slots=machine.host_params.cores)
+                machine.vphi_arbiter = arbiter
+            if arbiter_policy is not None:
+                arbiter.set_policy(arbiter_policy)
         # the tenant's QoS identity lives in its own VPhiConfig; the
         # shared arbiter learns it at install time (and re-learns it on
         # reinstall — configure() is safe mid-flight).
@@ -116,6 +127,6 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None,
         vm.guest_kernel.sysfs.publish(
             path, (lambda p=path: machine.kernel.sysfs.read(p))
         )
-    instance = VPhiInstance(vm, virtio, frontend, backend, config)
+    instance = VPhiInstance(vm, virtio, frontend, backend, config, card=card)
     vm.vphi = instance
     return instance

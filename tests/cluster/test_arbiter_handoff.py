@@ -1,0 +1,224 @@
+"""Arbiter hand-off across migration: no ghost slots, no stale clocks.
+
+The latent bug this file pins down: live migration used to leave the
+source :class:`~repro.vphi.pool.CardArbiter` holding the departed VM's
+scheduling state — a ghost slot in the round-robin order and, under
+wfq, a frozen virtual-finish tag the VM would pick back up if it ever
+migrated home (an instant, unearned head start or penalty).  The fix is
+``CardArbiter.deregister``: the source forgets the tenant entirely and
+the destination meets it as brand new.
+
+Unit tests drive the deregister contract directly; the cluster-level
+regression migrates a wfq tenant off a contended card and back again,
+asserting the home arbiter re-learns it from scratch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, live_migrate
+from repro.mem import PAGE_SIZE
+from repro.scif import MapFlag
+from repro.sim import SimError, Simulator
+from repro.vphi import VPhiConfig
+from repro.vphi.pool import CardArbiter
+
+PORT = 6200
+WIN = 4 * PAGE_SIZE
+FIXED_ROFF = 0x40000
+
+
+# ----------------------------------------------------------------------
+# CardArbiter.deregister unit contract
+# ----------------------------------------------------------------------
+
+
+def test_deregister_unknown_tenant_is_idempotent():
+    arb = CardArbiter(Simulator(), slots=2)
+    assert arb.deregister("ghost") is False
+    arb.configure("a")
+    assert arb.deregister("a") is True
+    assert arb.deregister("a") is False
+
+
+def test_deregister_refuses_tenant_with_pending_acquires():
+    """A queued waiter means the caller skipped the quiesce drain."""
+    arb = CardArbiter(Simulator(), slots=1)
+    granted = arb.acquire("a")
+    assert granted.triggered
+    waiting = arb.acquire("b")
+    assert not waiting.triggered
+    with pytest.raises(SimError):
+        arb.deregister("b")
+    arb.release("a")
+    assert waiting.triggered
+
+
+def test_deregister_reanchors_the_rotor():
+    """Dropping the VM the rotor points at re-anchors to its
+    predecessor, so the scan resumes exactly where it would have."""
+    arb = CardArbiter(Simulator(), slots=1)
+    for vm in ("a", "b", "c"):
+        arb.configure(vm)
+    arb.acquire("a")
+    arb.release("a")
+    arb.acquire("b")          # rotor now on "b", slot held by "b"
+    arb.release("b")
+    assert arb._last == "b"
+    assert arb.deregister("b") is True
+    assert arb._last == "a"
+    assert arb._order == ["a", "c"]
+    # behavioral: with the slot held and both survivors queued, the
+    # freed slot goes to "c" — the scan resumed after "a".
+    arb.acquire("a")          # rotor back on "a", slot held
+    wa = arb.acquire("a")
+    wc = arb.acquire("c")
+    arb.release("a")
+    assert wc.triggered and not wa.triggered
+    arb.release("c")
+    assert wa.triggered
+    arb.release("a")
+    assert arb.free == arb.slots
+
+
+def test_deregister_closes_the_priority_class_gap():
+    """Per-class rr cursors index into ``_order``; dropping an earlier
+    tenant must shift them left or the class rotation skews."""
+    arb = CardArbiter(Simulator(), slots=1, policy="priority")
+    for vm in ("a", "b", "c"):
+        arb.configure(vm, priority=0)
+    arb.acquire("a")
+    wb = arb.acquire("b")
+    wc = arb.acquire("c")
+    arb.release("a")          # class rr grants "b"; cursor past it
+    assert wb.triggered and not wc.triggered
+    cursor = arb._class_next[0]
+    assert arb.deregister("a") is True
+    assert arb._class_next[0] == cursor - 1
+    arb.release("b")          # the shifted cursor still finds "c" next
+    assert wc.triggered
+    arb.release("c")
+    assert arb.free == arb.slots
+
+
+def test_deregister_drops_wfq_clock_state():
+    arb = CardArbiter(Simulator(), slots=1, policy="wfq")
+    arb.configure("gold", weight=2.0)
+    arb.configure("best", weight=1.0)
+    arb.acquire("gold")
+    arb.release("gold")
+    assert "gold" in arb._finish
+    assert arb.deregister("gold") is True
+    for table in (arb._queues, arb._weights, arb._finish,
+                  arb._backlog_start):
+        assert "gold" not in table
+    assert "gold" not in arb._order
+    # re-registration meets a brand-new tenant: no inherited tags
+    arb.configure("gold", weight=2.0)
+    assert "gold" not in arb._finish
+    assert arb._order.count("gold") == 1
+
+
+# ----------------------------------------------------------------------
+# the cluster-level regression: migrate away, migrate home
+# ----------------------------------------------------------------------
+
+
+def _window_server(cluster, ref, port):
+    machine = cluster.machine(ref)
+    sproc = machine.card_process(f"arb-srv-{ref}", card=ref.card)
+    slib = machine.scif(sproc)
+
+    def server():
+        ep = yield from slib.open()
+        yield from slib.bind(ep, port)
+        yield from slib.listen(ep)
+        vma = sproc.address_space.mmap(WIN, populate=True)
+        while True:
+            conn, _ = yield from slib.accept(ep)
+            yield from slib.register(
+                conn, vma.start, WIN,
+                offset=FIXED_ROFF, flags=MapFlag.SCIF_MAP_FIXED,
+            )
+
+    machine.sim.spawn(server(), name=f"arb-srv-{ref}")
+
+
+def test_migrated_vm_carries_no_stale_wfq_state_home():
+    """Round trip h0c0 -> h0c1 -> h0c0 under wfq contention: the source
+    forgets the tenant on departure, the home card re-learns it fresh,
+    and every credit comes back."""
+    cluster = Cluster(hosts=1, cards_per_host=2).boot()
+    home = cluster.cards[0]
+    away = cluster.cards[1]
+    for ref in cluster.cards:
+        _window_server(cluster, ref, PORT)
+    # both tenants pooled + wfq on the *same* card, so the gold tenant
+    # accrues real virtual-finish state before it moves
+    config = dict(backend_workers=2, recovery_policy="queue")
+    gold = cluster.create_vm(
+        "gold", ram_bytes=64 << 20, placement=home, arbiter_policy="wfq",
+        vphi_config=VPhiConfig(qos_share=2.0, **config))
+    cluster.create_vm(
+        "stay", ram_bytes=64 << 20, placement=home, arbiter_policy="wfq",
+        vphi_config=VPhiConfig(qos_share=1.0, **config))
+    home_arb = cluster.machine(home).arbiter_for(home.card)
+    away_arb = cluster.machine(away).arbiter_for(away.card)
+    snapshots = {}
+    done = {}
+
+    def tenant(vm, idx):
+        gproc = vm.guest_process("arb-tenant")
+        glib = vm.vphi.libscif(gproc)
+        sim = cluster.sim
+
+        def body():
+            node = cluster.node_of(home)
+            ep = yield from glib.open()
+            yield from glib.connect(ep, (node, PORT))
+            vma = gproc.address_space.mmap(PAGE_SIZE, populate=True)
+            gproc.address_space.write(
+                vma.start, np.full(PAGE_SIZE, 0x40 + idx, dtype=np.uint8))
+            loff = yield from glib.register(ep, vma.start, PAGE_SIZE)
+            for _ in range(24):
+                yield from glib.writeto(
+                    ep, loff, PAGE_SIZE, FIXED_ROFF + idx * PAGE_SIZE)
+                yield sim.timeout(0.2e-3)
+            done[vm.name] = True
+
+        return vm.spawn_guest(body())
+
+    tenant(gold, 0)
+    tenant(cluster.vms["stay"], 1)
+
+    def director():
+        yield cluster.sim.timeout(2e-3)      # both tenants contended
+        assert "gold" in home_arb._finish, "no contention before the move"
+        yield from live_migrate(cluster, gold, away)
+        snapshots["src_forgot"] = all(
+            "gold" not in table
+            for table in (home_arb._queues, home_arb._finish,
+                          home_arb._weights, home_arb._backlog_start))
+        snapshots["src_order"] = "gold" not in home_arb._order
+        snapshots["dest_weight"] = away_arb.weight_of("gold")
+        yield cluster.sim.timeout(2e-3)      # accrue state on the away card
+        yield from live_migrate(cluster, gold, home)
+        snapshots["away_forgot"] = "gold" not in away_arb._finish
+        snapshots["home_order_count"] = home_arb._order.count("gold")
+
+    cluster.sim.spawn(director(), name="director")
+    cluster.run(until=0.5)
+
+    assert done == {"gold": True, "stay": True}, "a tenant deadlocked"
+    assert snapshots["src_forgot"] and snapshots["src_order"], (
+        "source arbiter kept the migrated VM's scheduling state")
+    assert snapshots["dest_weight"] == 2.0, (
+        "destination arbiter lost the VM's wfq share")
+    assert snapshots["away_forgot"], (
+        "round-trip left a stale finish tag on the away card")
+    assert snapshots["home_order_count"] == 1, (
+        "home arbiter double-registered the returning VM")
+    for arb in (home_arb, away_arb):
+        assert arb.free == arb.slots, f"{arb.name} leaked credits"
+    assert len(cluster.migrations) == 2
+    assert all(not r.broken for r in cluster.migrations)

@@ -1,0 +1,542 @@
+"""Migration conformance: a migrated VM is indistinguishable from one
+that never moved.
+
+The cluster layer's contract (DESIGN §14) is the differential suite's
+contract one level up: live migration — fence, journal replay against
+the destination card, re-mmap, retarget — must be invisible to the
+guest by anything except time.  Every operation in the
+:mod:`repro.vphi.ops` registry is exercised by a *scenario* (the same
+observable-tuple idiom as ``tests/vphi/test_differential_native.py``)
+run in three tranches against one VM:
+
+* **pre**  — before the migration is even scheduled;
+* **mid**  — issued while the VM is fenced (the ops park at the session
+  gate and complete after replay on the destination);
+* **post** — after the migration completed.
+
+The full three-tranche walk runs twice per (topology, dispatch-mode)
+cell — once with a live migration between the tranches, once without —
+and every scenario's observables must match the never-migrated run
+byte for byte.  A *persistent* session (endpoint + registered window +
+scif_mmap created at setup) is additionally exercised in every tranche
+with self-contained RMA rounds, pinning the replayed-state path: the
+window a round writes is the window its readback and its mmap probe
+see, on whichever card the VM lives by then.
+
+Topologies cover both migration paths: ``intra`` (1 host x 2 cards:
+arbiter hand-off, same backend) and ``inter`` (2 hosts x 1 card: full
+backend rebuild + RAM pre-copy over the inter-host fabric).  Peers are
+spawned symmetrically on every card at the same ports with the same
+fills, so the destination presents identical remote state — the
+restartable-daemon pattern the churn ablation (A13) established.
+
+Structural coverage is enforced exactly like the native differential
+suite: a parametrized test fails for any registry op no scenario
+claims, so new ops cannot ship without migration conformance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.mem import PAGE_SIZE
+from repro.scif import MapFlag, PollEvent, ScifError
+from repro.scif.errors import ECONNRESET, ENOTCONN
+from repro.vphi import VPhiConfig, VPhiOp, registered_ops
+
+KB = 1 << 10
+MB = 1 << 20
+#: small guest RAM keeps the inter-host pre-copy short; it is live
+#: (outside the downtime window) either way.
+RAM = 64 * MB
+PORT_BASE = 5100
+#: port space per tranche; each scenario gets an 8-port slot inside it.
+TRANCHE_STRIDE = 128
+PERSIST_PORT = PORT_BASE - 16
+PERSIST_WIN = 2 * PAGE_SIZE
+FIXED_ROFF = 0x40000
+TRANCHES = ("pre", "mid", "post")
+
+TOPOLOGIES = {
+    "intra": dict(hosts=1, cards_per_host=2),
+    "inter": dict(hosts=2, cards_per_host=1),
+}
+MODES = {
+    "blocking": lambda: VPhiConfig(recovery_policy="queue"),
+    "pooled": lambda: VPhiConfig(backend_workers=4, recovery_policy="queue"),
+}
+
+
+# ----------------------------------------------------------------------
+# the environment one scenario body runs against
+# ----------------------------------------------------------------------
+
+
+class Env:
+    """The guest stack under test plus symmetric-peer spawners."""
+
+    def __init__(self, cluster, vm):
+        self.cluster = cluster
+        self.vm = vm
+        self.proc = vm.guest_process("mig-client")
+        self.lib = vm.vphi.libscif(self.proc)
+        #: the peer node id, captured at the *original* placement.  Node
+        #: ids are per-machine (host = 0, cards 1..M), so with peers on
+        #: every card the same number resolves to identical remote state
+        #: wherever the VM lives.
+        self.node = cluster.node_of(cluster.placement_of(vm.name))
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def ep_state(self, ep) -> str:
+        """The backing endpoint's state through the *current* backend
+        (a migrated VM's table is the destination backend's)."""
+        bep = self.vm.vphi.backend.endpoints.get(ep.handle)
+        return "closed" if bep is None else bep.state.value
+
+    def sysfs_read(self, path: str):
+        result, _ = yield from self.vm.vphi.frontend.submit(
+            VPhiOp.SYSFS_READ, args={"path": path}
+        )
+        return result
+
+    # -- symmetric peers ------------------------------------------------
+
+    def echo_servers(self, port, nbytes):
+        """One accept-forever echo peer per card: recv ``nbytes``, send
+        them reversed, one exchange per connection."""
+        for ref in self.cluster.cards:
+            machine = self.cluster.machine(ref)
+            slib = machine.scif(
+                machine.card_process(f"echo{port}-{ref}", card=ref.card))
+
+            def handler(conn, slib=slib):
+                try:
+                    data = yield from slib.recv(conn, nbytes)
+                    yield from slib.send(conn, data.tobytes()[::-1])
+                except (ECONNRESET, ENOTCONN):
+                    pass
+
+            def server(slib=slib, machine=machine, ref=ref):
+                ep = yield from slib.open()
+                yield from slib.bind(ep, port)
+                yield from slib.listen(ep)
+                n = 0
+                while True:
+                    conn, _ = yield from slib.accept(ep)
+                    machine.sim.spawn(
+                        handler(conn), name=f"echo{port}-{ref}-{n}")
+                    n += 1
+
+            machine.sim.spawn(server(), name=f"echo{port}-{ref}")
+
+    def window_servers(self, port, size, fill):
+        """One accept-forever window peer per card, registered at the
+        same fixed offset with the same fill: a replayed session finds
+        identical remote state on the destination.  Protocol per
+        connection: send ``b"r"`` once registered, then answer ``b"s"``
+        with the window checksum until ``b"q"`` (or a reset)."""
+        for ref in self.cluster.cards:
+            machine = self.cluster.machine(ref)
+            sproc = machine.card_process(f"win{port}-{ref}", card=ref.card)
+            slib = machine.scif(sproc)
+
+            def handler(conn, vma, slib=slib, sproc=sproc):
+                try:
+                    yield from slib.register(
+                        conn, vma.start, size,
+                        offset=FIXED_ROFF, flags=MapFlag.SCIF_MAP_FIXED,
+                    )
+                    yield from slib.send(conn, b"r")
+                    while True:
+                        cmd = yield from slib.recv(conn, 1)
+                        if cmd.tobytes() != b"s":
+                            return
+                        csum = int(
+                            sproc.address_space.read(vma.start, size).sum())
+                        yield from slib.send(conn, np.int64(csum).tobytes())
+                except (ECONNRESET, ENOTCONN):
+                    pass
+
+            def server(slib=slib, sproc=sproc, machine=machine, ref=ref):
+                ep = yield from slib.open()
+                yield from slib.bind(ep, port)
+                yield from slib.listen(ep)
+                vma = sproc.address_space.mmap(size, populate=True)
+                sproc.address_space.write(
+                    vma.start, np.full(size, fill, dtype=np.uint8))
+                n = 0
+                while True:
+                    conn, _ = yield from slib.accept(ep)
+                    machine.sim.spawn(
+                        handler(conn, vma), name=f"win{port}-{ref}-{n}")
+                    n += 1
+
+            machine.sim.spawn(server(), name=f"win{port}-{ref}")
+
+    def dial_all(self, port):
+        """One card-side dialer per machine toward the guest's listener
+        (host node 0 of that machine).  Only the machine actually
+        hosting the VM's backend has a listener; the others' dials are
+        refused and swallowed."""
+        for host, machine in enumerate(self.cluster.machines):
+            dlib = machine.scif(
+                machine.card_process(f"dial{port}-h{host}", card=0))
+
+            def dialer(dlib=dlib):
+                ep = yield from dlib.open()
+                try:
+                    yield from dlib.connect(ep, (0, port))
+                except ScifError:
+                    return
+                yield from dlib.recv(ep, 2)
+
+            machine.sim.spawn(dialer(), name=f"dial{port}-h{host}")
+
+    def checksum(self, ep):
+        yield from self.lib.send(ep, b"s")
+        raw = yield from self.lib.recv(ep, 8)
+        return int(np.frombuffer(raw.tobytes(), dtype=np.int64)[0])
+
+
+# ----------------------------------------------------------------------
+# scenario registry: name -> (ops covered, client body)
+# ----------------------------------------------------------------------
+
+SCENARIOS: dict = {}
+
+
+def scenario(*ops):
+    """Declare which registry ops a scenario's observables conform."""
+
+    def wrap(fn):
+        SCENARIOS[fn.__name__] = (frozenset(ops), fn)
+        return fn
+
+    return wrap
+
+
+@scenario(VPhiOp.OPEN, VPhiOp.BIND, VPhiOp.LISTEN, VPhiOp.ACCEPT,
+          VPhiOp.CLOSE)
+def conn_lifecycle(env, base):
+    """Server-side lifecycle on the guest: a migrated VM's listener
+    lives wherever its backend does, and the dialer still reaches it."""
+    obs = []
+    ep = yield from env.lib.open()
+    obs.append(env.ep_state(ep))
+    port = yield from env.lib.bind(ep, base)
+    obs.append((port, env.ep_state(ep)))
+    yield from env.lib.listen(ep)
+    obs.append(env.ep_state(ep))
+    env.dial_all(base)
+    conn, peer = yield from env.lib.accept(ep)
+    obs.append((peer[0], env.ep_state(conn)))
+    yield from env.lib.send(conn, b"ok")
+    yield from env.lib.close(conn)
+    yield from env.lib.close(ep)
+    obs.append((env.ep_state(conn), env.ep_state(ep)))
+    return tuple(obs)
+
+
+@scenario(VPhiOp.OPEN, VPhiOp.CONNECT, VPhiOp.SEND, VPhiOp.RECV,
+          VPhiOp.CLOSE)
+def connect_echo(env, base):
+    """Active open + messaging, plus the refused-connect errno."""
+    env.echo_servers(base, nbytes=8)
+    obs = []
+    dead = yield from env.lib.open()
+    try:
+        yield from env.lib.connect(dead, (env.node, base + 7))  # no listener
+    except ScifError as e:
+        obs.append(type(e).__name__)
+    yield from env.lib.close(dead)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    n = yield from env.lib.send(ep, b"abcdefgh")
+    echo = yield from env.lib.recv(ep, 8)
+    obs.append((n, echo.tobytes()))
+    yield from env.lib.close(ep)
+    obs.append(env.ep_state(ep))
+    return tuple(obs)
+
+
+@scenario(VPhiOp.SEND, VPhiOp.RECV)
+def zero_length_messaging(env, base):
+    """Zero-byte send/recv complete with 0 and feed the peer nothing."""
+    env.echo_servers(base, nbytes=4)
+    obs = []
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    n0 = yield from env.lib.send(ep, b"")
+    empty = yield from env.lib.recv(ep, 0)
+    obs.append((n0, len(empty)))
+    n = yield from env.lib.send(ep, b"wxyz")
+    echo = yield from env.lib.recv(ep, 4)
+    obs.append((n, echo.tobytes()))
+    yield from env.lib.close(ep)
+    return tuple(obs)
+
+
+@scenario(VPhiOp.REGISTER, VPhiOp.UNREGISTER, VPhiOp.READFROM,
+          VPhiOp.WRITETO, VPhiOp.FENCE_MARK, VPhiOp.FENCE_WAIT)
+def rma_window(env, base):
+    """Window-to-window RMA both directions, fenced, then unregistered."""
+    size = 16 * KB
+    env.window_servers(base, size, fill=0x5A)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    ready = yield from env.lib.recv(ep, 1)
+    vma = env.proc.address_space.mmap(size, populate=True)
+    loff = yield from env.lib.register(ep, vma.start, size)
+    n_read = yield from env.lib.readfrom(ep, loff, size, FIXED_ROFF)
+    pulled = int(env.proc.address_space.read(vma.start, size).sum())
+    env.proc.address_space.write(
+        vma.start, np.full(size, 0xA5, dtype=np.uint8))
+    n_write = yield from env.lib.writeto(ep, loff, size, FIXED_ROFF)
+    mark = yield from env.lib.fence_mark(ep)
+    yield from env.lib.fence_wait(ep, mark)
+    remote = yield from env.checksum(ep)
+    yield from env.lib.unregister(ep, loff)
+    yield from env.lib.send(ep, b"q")
+    yield from env.lib.close(ep)
+    return (ready.tobytes(), n_read, pulled, n_write, mark, remote)
+
+
+@scenario(VPhiOp.VREADFROM, VPhiOp.VWRITETO)
+def vrma_roundtrip(env, base):
+    """Virtual-address RMA: the driver-pinned (vPHI: bounced) path."""
+    size = 16 * KB
+    env.window_servers(base, size, fill=0x3C)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    yield from env.lib.recv(ep, 1)
+    vma = env.proc.address_space.mmap(size, populate=True)
+    n_read = yield from env.lib.vreadfrom(ep, vma.start, size, FIXED_ROFF)
+    pulled = int(env.proc.address_space.read(vma.start, size).sum())
+    env.proc.address_space.write(
+        vma.start, np.full(size, 0xC3, dtype=np.uint8))
+    n_write = yield from env.lib.vwriteto(ep, vma.start, size, FIXED_ROFF)
+    remote = yield from env.checksum(ep)
+    yield from env.lib.send(ep, b"q")
+    yield from env.lib.close(ep)
+    return (n_read, pulled, n_write, remote)
+
+
+@scenario(VPhiOp.MMAP)
+def mmap_window(env, base):
+    """scif_mmap: plain loads/stores reach whichever card is current."""
+    size = 2 * PAGE_SIZE
+    env.window_servers(base, size, fill=0xAB)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    yield from env.lib.recv(ep, 1)
+    vma = yield from env.lib.mmap(ep, FIXED_ROFF, size)
+    loaded = env.proc.address_space.read(vma.start + 17, 16).tobytes()
+    env.proc.address_space.write(vma.start + 64, b"conformance!")
+    remote = yield from env.checksum(ep)
+    yield from env.lib.send(ep, b"q")
+    return (loaded, remote)
+
+
+@scenario(VPhiOp.FENCE_SIGNAL)
+def fence_signal_flag(env, base):
+    """The RDMA-completion-flag idiom survives relocation."""
+    size = 2 * PAGE_SIZE
+    env.window_servers(base, size, fill=0x00)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    yield from env.lib.recv(ep, 1)
+    vma = env.proc.address_space.mmap(size, populate=True)
+    env.proc.address_space.write(
+        vma.start, np.full(size, 0x11, dtype=np.uint8))
+    loff = yield from env.lib.register(ep, vma.start, size)
+    yield from env.lib.writeto(ep, loff, size - PAGE_SIZE, FIXED_ROFF)
+    yield from env.lib.fence_signal(
+        ep, loff, 0x1234, FIXED_ROFF + size - 8, 0x5678)
+    local_flag = int(np.frombuffer(
+        env.proc.address_space.read(vma.start, 8).tobytes(), dtype=np.int64
+    )[0])
+    remote = yield from env.checksum(ep)
+    yield from env.lib.send(ep, b"q")
+    return (local_flag, remote)
+
+
+@scenario(VPhiOp.POLL)
+def poll_readiness(env, base):
+    """poll readiness transitions: writable, then readable on arrival."""
+    env.echo_servers(base, nbytes=4)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, base))
+    before = yield from env.lib.poll(
+        [(ep, PollEvent.SCIF_POLLIN | PollEvent.SCIF_POLLOUT)], timeout=0)
+    yield from env.lib.send(ep, b"ping")
+    after = yield from env.lib.poll(
+        [(ep, PollEvent.SCIF_POLLIN)], timeout=None)
+    data = yield from env.lib.recv(ep, 4)
+    yield from env.lib.close(ep)
+    return (int(before[0]), int(after[0]), data.tobytes())
+
+
+@scenario(VPhiOp.GET_NODE_IDS)
+def node_enumeration(env, base):
+    """Symmetric topologies enumerate identically from either host."""
+    ids, own = yield from env.lib.get_node_ids()
+    return (tuple(ids), own)
+
+
+@scenario(VPhiOp.SYSFS_READ)
+def sysfs_attributes(env, base):
+    """The mirrored mic sysfs answers identically after a rebuild."""
+    out = []
+    for attr in ("family", "version", "state"):
+        val = yield from env.sysfs_read(f"sys/class/mic/mic0/{attr}")
+        out.append(val)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# the persistent session: state that must *survive* the migration
+# ----------------------------------------------------------------------
+
+
+def persist_setup(env):
+    """Full session — endpoint, registered window, scif_mmap — created
+    once, before any migration; its journal is what replay rebuilds."""
+    env.window_servers(PERSIST_PORT, PERSIST_WIN, fill=0x77)
+    ep = yield from env.lib.open()
+    yield from env.lib.connect(ep, (env.node, PERSIST_PORT))
+    ready = yield from env.lib.recv(ep, 1)
+    vma = env.proc.address_space.mmap(PERSIST_WIN, populate=True)
+    loff = yield from env.lib.register(ep, vma.start, PERSIST_WIN)
+    mvma = yield from env.lib.mmap(ep, FIXED_ROFF, PERSIST_WIN)
+    return {"ep": ep, "vma": vma, "loff": loff, "mvma": mvma,
+            "ready": ready.tobytes()}
+
+
+def persist_round(env, p, tag):
+    """One self-contained RMA round: write a pattern, read it back,
+    probe it through the mmap.  Migration-safe by construction — each
+    op parks at the gate or completes, nothing straddles the fence."""
+    space = env.proc.address_space
+    pattern = np.full(PERSIST_WIN, tag, dtype=np.uint8)
+    space.write(p["vma"].start, pattern)
+    yield from env.lib.writeto(p["ep"], p["loff"], PERSIST_WIN, FIXED_ROFF)
+    space.write(p["vma"].start, np.zeros(PERSIST_WIN, dtype=np.uint8))
+    yield from env.lib.readfrom(p["ep"], p["loff"], PERSIST_WIN, FIXED_ROFF)
+    got = space.read(p["vma"].start, PERSIST_WIN)
+    probe = int(space.read(p["mvma"].start + 5, 1)[0])
+    return (bool((got == pattern).all()), probe)
+
+
+# ----------------------------------------------------------------------
+# harness: one cluster run walks every scenario through all tranches
+# ----------------------------------------------------------------------
+
+_memo: dict = {}
+
+
+def run_cluster(topology: str, mode: str, migrated: bool):
+    """The three-tranche walk; memoized per cell so each baseline and
+    each migrated run is computed once."""
+    key = (topology, mode, migrated)
+    if key in _memo:
+        return _memo[key]
+    cluster = Cluster(**TOPOLOGIES[topology]).boot()
+    vm = cluster.create_vm("vm0", ram_bytes=RAM, vphi_config=MODES[mode]())
+    src = cluster.placement_of("vm0")
+    dest = next(ref for ref in cluster.cards if ref != src)
+    env = Env(cluster, vm)
+    names = sorted(SCENARIOS)
+    obs: dict = {}
+    out = {"cluster": cluster, "vm": vm, "report": None}
+
+    def tranche(t_idx, label):
+        for slot, name in enumerate(names):
+            _, fn = SCENARIOS[name]
+            base = PORT_BASE + t_idx * TRANCHE_STRIDE + slot * 8
+            obs[(label, name)] = yield from fn(env, base)
+
+    def driver():
+        p = yield from persist_setup(env)
+        obs[("setup", "persist")] = p.pop("ready")
+        yield from tranche(0, "pre")
+        obs[("pre", "persist")] = yield from persist_round(env, p, 0x21)
+        mover = None
+        if migrated:
+            mover = cluster.sim.spawn(
+                cluster.migrate("vm0", dest), name="mover")
+            # let the fence rise (pre-copy is live) so the mid tranche
+            # is issued against a *gated* session and parks.
+            ses = vm.vphi.frontend.session
+            while ses.state == "active":
+                yield cluster.sim.timeout(20e-6)
+        obs[("mid", "persist")] = yield from persist_round(env, p, 0x22)
+        yield from tranche(1, "mid")
+        if mover is not None:
+            yield mover
+            out["report"] = mover.value
+        obs[("post", "persist")] = yield from persist_round(env, p, 0x23)
+        yield from tranche(2, "post")
+        return True
+
+    drv = vm.spawn_guest(driver())
+    cluster.run()
+    assert drv.value is True, "conformance walk did not run to completion"
+    _memo[key] = (obs, out)
+    return obs, out
+
+
+# ----------------------------------------------------------------------
+# the differential tests
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("name", sorted(SCENARIOS) + ["persist"])
+def test_migrated_walk_matches_never_migrated(topology, mode, name):
+    """Every scenario's observables, in every tranche, are byte-equal
+    to the same walk on a VM that never migrated."""
+    baseline, _ = run_cluster(topology, mode, migrated=False)
+    moved, _ = run_cluster(topology, mode, migrated=True)
+    tranches = TRANCHES + (("setup",) if name == "persist" else ())
+    for label in tranches:
+        key = (label, name)
+        assert moved[key] == baseline[key], (
+            f"{name} diverged in the {label!r} tranche after migration: "
+            f"{moved[key]!r} != {baseline[key]!r}"
+        )
+
+
+@pytest.mark.parametrize("mode", sorted(MODES))
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_migration_run_is_clean(topology, mode):
+    """The migrated walk really migrated — and leaked nothing."""
+    _, out = run_cluster(topology, mode, migrated=True)
+    report = out["report"]
+    assert report is not None and not report.broken
+    # the persistent session alone journals open+connect+register+mmap
+    assert report.replayed_ops >= 4
+    assert report.downtime > 0
+    assert report.cross_host == (topology == "inter")
+    vm = out["vm"]
+    assert vm.vphi.frontend.session.state == "active"
+    assert not vm.vphi.frontend._inflight, "stranded in-flight tags"
+    for machine in out["cluster"].machines:
+        for arb in machine.card_arbiters.values():
+            assert arb.free == arb.slots, f"{arb.name} leaked credits"
+
+
+@pytest.mark.parametrize(
+    "op", [s.op for s in registered_ops()], ids=lambda op: op.value
+)
+def test_every_registry_op_walks_through_migration(op):
+    """Structural coverage: an op nobody's scenario claims fails here —
+    migration conformance cannot silently rot as ops are added."""
+    covered = frozenset().union(*(ops for ops, _ in SCENARIOS.values()))
+    assert op in covered, (
+        f"registry op {op.value!r} has no migration-conformance scenario; "
+        f"add one (or extend an existing scenario's @scenario(...) claim)"
+    )

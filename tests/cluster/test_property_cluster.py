@@ -1,0 +1,218 @@
+"""Chaos property: random churn never deadlocks, leaks, or corrupts.
+
+Whatever topology Hypothesis picks, wherever the scheduler places the
+tenants, and whenever the director fires its churn events — live
+migrations, card hot-unplugs, re-plugs, in any order, overlapping the
+tenants' RMA traffic — four invariants must hold at quiescence:
+
+* **no deadlock** — every tenant generator runs to completion (an
+  evicted tenant exits on its typed error; nobody parks forever);
+* **no credit leak** — every card arbiter ends with all slots free;
+* **no stranded tags** — every frontend's in-flight table drains;
+* **no cross-corruption** — a surviving tenant's final readback is
+  exactly its own pattern, never a byte of a neighbour's.
+
+Errors are part of the contract too: the only ScifError a tenant may
+ever see is the typed eviction of its own VM (card gone with no spare
+capacity, host dead).  Any other error is a real datapath defect and
+fails the run.
+
+The deterministic companion test pins the abrupt-failure path the
+random walk can't control precisely: a host dies mid-traffic, its VMs
+are evicted broken, the survivors keep their SLO and their bytes.
+"""
+
+import os
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.mem import PAGE_SIZE
+from repro.scif import MapFlag, ScifError
+from repro.sim import SimError
+from repro.vphi import VPhiConfig
+
+# the nightly chaos job raises this well past the CI default
+N_EXAMPLES = int(os.environ.get("VPHI_CHAOS_EXAMPLES", "8"))
+
+PORT = 7300
+WIN = 4 * PAGE_SIZE
+FIXED_ROFF = 0x40000
+ROUNDS = 10
+CADENCE = 0.3e-3
+RAM = 64 << 20
+
+
+def resilient_servers(cluster, port=PORT):
+    """One accept-forever fixed-window peer per card: any replayed or
+    re-dialed session finds the same remote state wherever it lands."""
+    for ref in cluster.cards:
+        machine = cluster.machine(ref)
+        sproc = machine.card_process(f"chaos-srv-{ref}", card=ref.card)
+        slib = machine.scif(sproc)
+
+        def server(slib=slib, sproc=sproc):
+            ep = yield from slib.open()
+            yield from slib.bind(ep, port)
+            yield from slib.listen(ep)
+            vma = sproc.address_space.mmap(WIN, populate=True)
+            while True:
+                conn, _ = yield from slib.accept(ep)
+                yield from slib.register(
+                    conn, vma.start, WIN,
+                    offset=FIXED_ROFF, flags=MapFlag.SCIF_MAP_FIXED,
+                )
+
+        machine.sim.spawn(server(), name=f"chaos-srv-{ref}")
+
+
+def spawn_tenant(cluster, vm, idx, done, integrity, unexplained):
+    """RMA rounds against the tenant's own disjoint window region; the
+    only tolerated error is this VM's own eviction."""
+    gproc = vm.guest_process("chaos-tenant")
+    glib = vm.vphi.libscif(gproc)
+    sim = cluster.sim
+    name = vm.name
+    pattern = np.full(PAGE_SIZE, 0x40 + idx, dtype=np.uint8)
+    roff = FIXED_ROFF + idx * PAGE_SIZE
+
+    def evicted() -> bool:
+        return (name in cluster.evicted
+                or vm.vphi.frontend.session.state == "broken")
+
+    def body():
+        try:
+            node = cluster.node_of(cluster.placement_of(name))
+            ep = yield from glib.open()
+            yield from glib.connect(ep, (node, PORT))
+            vma = gproc.address_space.mmap(PAGE_SIZE, populate=True)
+            gproc.address_space.write(vma.start, pattern)
+            loff = yield from glib.register(ep, vma.start, PAGE_SIZE)
+            for _ in range(ROUNDS):
+                yield from glib.writeto(ep, loff, PAGE_SIZE, roff)
+                yield sim.timeout(CADENCE)
+            # final integrity round: my region holds my bytes, only mine
+            gproc.address_space.write(
+                vma.start, np.zeros(PAGE_SIZE, dtype=np.uint8))
+            yield from glib.readfrom(ep, loff, PAGE_SIZE, roff)
+            got = gproc.address_space.read(vma.start, PAGE_SIZE)
+            integrity[name] = bool((got == pattern).all())
+        except ScifError as e:
+            if not evicted():
+                unexplained[name] = repr(e)
+        finally:
+            done[name] = True
+
+    vm.spawn_guest(body())
+
+
+@settings(max_examples=N_EXAMPLES, deadline=None, print_blob=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    hosts=st.integers(1, 2),
+    cards=st.integers(1, 2),
+    policy=st.sampled_from(["spread", "pack"]),
+    n_vms=st.integers(2, 3),
+    events=st.lists(
+        st.tuples(st.sampled_from(["migrate", "unplug", "plug"]),
+                  st.integers(0, 3), st.integers(1, 8)),
+        min_size=1, max_size=3),
+)
+def test_random_churn_never_deadlocks_leaks_or_corrupts(
+        hosts, cards, policy, n_vms, events):
+    if hosts * cards < 2:
+        cards = 2  # churn needs somewhere to move to
+    cluster = Cluster(hosts=hosts, cards_per_host=cards,
+                      placement=policy).boot()
+    resilient_servers(cluster)
+    done, integrity, unexplained = {}, {}, {}
+    names = []
+    for idx in range(n_vms):
+        vm = cluster.create_vm(
+            f"vm{idx}", ram_bytes=RAM, arbiter_policy="wfq",
+            vphi_config=VPhiConfig(
+                backend_workers=2, recovery_policy="queue",
+                qos_share=float(1 + idx % 2)),
+        )
+        names.append(vm.name)
+        spawn_tenant(cluster, vm, idx, done, integrity, unexplained)
+
+    def director():
+        unplugged = []
+        for kind, target, delay in events:
+            yield cluster.sim.timeout(delay * 0.4e-3)
+            try:
+                if kind == "migrate":
+                    yield from cluster.migrate(names[target % len(names)])
+                elif kind == "unplug":
+                    ref = cluster.cards[target % len(cluster.cards)]
+                    yield from cluster.hot_unplug(ref.host, ref.card)
+                    unplugged.append(ref)
+                elif kind == "plug" and unplugged:
+                    ref = unplugged.pop()
+                    cluster.hot_plug(ref.host, ref.card)
+            except SimError:
+                # offline card, evicted VM, no destination capacity —
+                # legal director misfires, not datapath defects
+                pass
+
+    cluster.sim.spawn(director(), name="chaos-director")
+    cluster.run(until=1.0)
+
+    assert done == {n: True for n in names}, (
+        f"tenant deadlocked: finished {sorted(done)} of {names}")
+    assert not unexplained, (
+        f"non-eviction errors surfaced: {unexplained}")
+    for machine in cluster.machines:
+        for arb in machine.card_arbiters.values():
+            assert arb.free == arb.slots, f"{arb.name} leaked credits"
+    for name in names:
+        vm = cluster.vms[name]
+        assert not vm.vphi.frontend._inflight, (
+            f"{name} stranded in-flight tags")
+        if name in cluster.placements:
+            assert vm.vphi.frontend.session.state == "active"
+            assert integrity.get(name, True), (
+                f"{name} read a corrupted pattern")
+        else:
+            assert name in cluster.evicted
+            assert vm.vphi.frontend.session.state == "broken"
+
+
+def test_host_failure_evicts_broken_and_survivors_keep_their_bytes():
+    """Abrupt host death: the dead host's tenants are evicted with
+    typed errors, the surviving host's tenant is untouched."""
+    cluster = Cluster(hosts=2, cards_per_host=1).boot()
+    resilient_servers(cluster)
+    done, integrity, unexplained = {}, {}, {}
+    vm_a = cluster.create_vm(
+        "vma", ram_bytes=RAM,
+        vphi_config=VPhiConfig(backend_workers=2, recovery_policy="queue"))
+    ref_a = cluster.placement_of("vma")
+    other = next(r for r in cluster.cards if r.host != ref_a.host)
+    vm_b = cluster.create_vm(
+        "vmb", ram_bytes=RAM, placement=other,
+        vphi_config=VPhiConfig(backend_workers=2, recovery_policy="queue"))
+    spawn_tenant(cluster, vm_a, 0, done, integrity, unexplained)
+    spawn_tenant(cluster, vm_b, 1, done, integrity, unexplained)
+
+    def director():
+        yield cluster.sim.timeout(1e-3)
+        victims = cluster.fail_host(ref_a.host)
+        assert victims == ["vma"]
+
+    cluster.sim.spawn(director(), name="reaper")
+    cluster.run(until=1.0)
+
+    assert done == {"vma": True, "vmb": True}
+    assert not unexplained
+    assert cluster.evicted == ["vma"]
+    assert vm_a.vphi.frontend.session.state == "broken"
+    assert vm_b.vphi.frontend.session.state == "active"
+    assert integrity.get("vmb") is True
+    assert "vma" not in integrity, "a dead host's tenant finished cleanly"
+    assert cluster.machines[ref_a.host].faults.fires_of("host_fail") == 1
+    for machine in cluster.machines:
+        for arb in machine.card_arbiters.values():
+            assert arb.free == arb.slots, f"{arb.name} leaked credits"

@@ -67,6 +67,27 @@ class TestConservation:
         result = run_plan(plan)
         result.check_conservation()
 
+    def test_conservation_when_tenant_vm_errors_mid_plan(self):
+        """A tenant whose requests fail mid-plan still settles every
+        arrival: errors are a typed outcome, not a leak.  Injected
+        SCIF_ERROR on every 7th send — setup ops (open/connect) stay
+        clean so the pacers all reach the measurement gate."""
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.scif.errors import EINVAL
+        from repro.system import Machine
+
+        plan = FaultPlan.of(FaultSpec(kind=FaultKind.SCIF_ERROR,
+                                      errno=EINVAL, op="send", every=7))
+        machine = Machine(cards=1, fault_plan=plan).boot()
+        result = run_plan(small_plan("wfq", seed=3), machine=machine)
+        result.check_conservation()
+        errors = sum(load.errors for load in result.loads)
+        completed = sum(load.completed for load in result.loads)
+        assert errors > 0, "fault plan injected nothing"
+        assert completed > 0, "every request failed — plan too aggressive"
+        for load in result.loads:
+            assert load.offered == load.completed + load.shed + load.errors
+
 
 class TestDeterminism:
     def test_same_plan_same_counters(self):
