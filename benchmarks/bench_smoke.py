@@ -155,8 +155,38 @@ def _run_a13() -> dict:
     }
 
 
+def _run_a14() -> dict:
+    """A14: power model — DGEMM vs TDP cap; guest RMA tail under throttle.
+
+    The cap sweep pins the throttle loop's working points (time, average
+    watts, GFLOPS/W, throttle residency per cap); the tail pair pins the
+    cost-multiplier surcharge on guest vreadfrom p50/p99 plus the
+    backend's throttled-dispatch count.  Any change to the P-state
+    ladder, power split, governor policy, or registry cost coupling
+    drifts this golden.
+    """
+    from test_ablation_power import TAIL_OP, run_power_ablation, run_tail_scenario
+
+    rows = run_power_ablation()
+    base = run_tail_scenario(False)
+    slow = run_tail_scenario(True)
+    return {
+        "figure": "a14",
+        "unit": "mixed",
+        "time_by_cap": [[cap, t] for cap, t, _, _, _ in rows],
+        "avg_watts_by_cap": [[cap, w] for cap, _, w, _, _ in rows],
+        "gflops_per_watt_by_cap": [[cap, e] for cap, _, _, e, _ in rows],
+        "throttle_residency_by_cap": [[cap, r] for cap, _, _, _, r in rows],
+        "guest_rma_p99": [["p0", base[TAIL_OP]["p99"]],
+                          ["deep", slow[TAIL_OP]["p99"]]],
+        "throttled_ops": [["p0", base["_throttled_ops"]["count"]],
+                          ["deep", slow["_throttled_ops"]["count"]]],
+    }
+
+
 FIGURES = {"fig4": _run_fig4, "fig5": _run_fig5, "a10": _run_a10,
-           "a11": _run_a11, "a12": _run_a12, "a13": _run_a13}
+           "a11": _run_a11, "a12": _run_a12, "a13": _run_a13,
+           "a14": _run_a14}
 
 
 def canonical(series: dict) -> str:

@@ -8,6 +8,7 @@
     python -m repro trace [--out vphi_trace.json] [--check]
     python -m repro qos [--plan plan.json] [--check] [--assert-jain 0.95]
     python -m repro cluster [--hosts 2] [--cards 1] [--churn] [--check]
+    python -m repro pepc [--card 0|--core 0-3|--vm] [--pstate 2] [--tdp 200]
     python -m repro profile fig5 [--top 25] [--out fig5.pstats]
 
 Every command builds the paper's testbed (one 3120P), runs the workload
@@ -366,6 +367,210 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _parse_cores(text: str) -> list[int]:
+    """``"0-3,7"`` -> ``[0, 1, 2, 3, 7]``."""
+    cores: list[int] = []
+    for part in text.split(","):
+        if not part:
+            continue
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            cores.extend(range(int(lo), int(hi) + 1))
+        else:
+            cores.append(int(part))
+    return cores
+
+
+def _render_pepc(rows) -> str:
+    lines = [
+        f"{'host':>4} {'card':<6} {'sku':<6} {'state':<8} {'req-P':>6} "
+        f"{'eff(kHz)':>15} {'Cst':>4} {'cap(W)':>7} {'unc':>5} "
+        f"{'power(W)':>9} {'temp(C)':>8} {'thr':>4}"
+    ]
+    for r in rows:
+        req = sorted(set(r["requested_pstate"].values()))
+        req_s = f"P{req[0]}" if len(req) == 1 else f"P{req[0]}-P{req[-1]}"
+        eff = sorted(set(r["effective_khz"].values()))
+        eff_s = (f"{eff[0]}" if len(eff) == 1 else f"{eff[0]}-{eff[-1]}")
+        lines.append(
+            f"{r['host']:>4} {r['card']:<6} {r['sku']:<6} {r['state']:<8} "
+            f"{req_s:>6} {eff_s:>15} {'on' if r['cstates_enabled'] else 'off':>4} "
+            f"{r['tdp_cap_w']:>7.0f} {r['uncore_mult']:>5.2f} "
+            f"{r['power_w']:>9.1f} {r['temp_c']:>8.1f} "
+            f"{'yes' if r['throttled'] else 'no':>4}"
+        )
+    return "\n".join(lines)
+
+
+def _pepc_check() -> int:
+    """The pepc-smoke conformance scenario: drive the closed throttle
+    loop end to end and assert its contract.  Exit 1 on any violation."""
+    from .analysis import power_stats
+    from .phi import PowerConfig, Scope
+    from .sim import SimError
+    from .system import Machine
+
+    failures: list[str] = []
+    FLOPS, THREADS = 4e11, 224
+
+    def dgemm_run(machine, probe_at=None, probe_out=None):
+        uos = machine.uos(0)
+        out = {}
+
+        def drive():
+            job = yield from uos.run_compute(FLOPS, THREADS, efficiency=0.8,
+                                             name="dgemm")
+            out["t"] = job.finished_at - job.started_at
+
+        if probe_at is not None:
+            def probe():
+                yield machine.sim.timeout(probe_at)
+                power = machine.devices[0].power
+                power.refresh()
+                probe_out["watts"] = power.power_watts()
+                probe_out["khz"] = int(
+                    machine.devices[0].sysfs_attrs()["cores_frequency"])
+
+            machine.sim.spawn(probe(), name="pepc-probe")
+        machine.sim.spawn(drive(), name="pepc-drive")
+        machine.run()
+        return out["t"]
+
+    # 1. baseline: default cap never throttles; sysfs is kHz and live
+    m = Machine(cards=1, power_model="knc").boot()
+    dev = m.devices[0]
+    khz = int(dev.sysfs_attrs()["cores_frequency"])
+    if khz != int(dev.sku.clock_hz / 1e3):
+        failures.append(f"sysfs cores_frequency {khz} != SKU kHz at P0")
+    t_base = dgemm_run(m)
+    if dev.power.throttled_time > 0:
+        failures.append("throttled at the default (SKU TDP) cap")
+    print(f"baseline dgemm: {t_base:.6f} s at P0, no throttle")
+
+    # 2. P-state monotonicity: deeper requested state => slower, never faster
+    times = [t_base]
+    for pstate in (2, len(dev.power.pstates) - 1):
+        mp = Machine(cards=1, power_model="knc").boot()
+        mp.pepc().set_pstate(pstate, Scope.one_card(0))
+        times.append(dgemm_run(mp))
+    if not (times[0] < times[1] < times[2]):
+        failures.append(f"P-state ladder not monotone: {times}")
+    print(f"pstate sweep dgemm: {['%.6f' % t for t in times]}")
+
+    # 3. TDP cap: converges under the cap with nonzero throttle residency
+    mc = Machine(cards=1, power_model="knc").boot()
+    mc.pepc().set_tdp(210.0, Scope.one_card(0))
+    mid = {}
+    t_cap = dgemm_run(mc, probe_at=0.3, probe_out=mid)
+    power = mc.devices[0].power
+    report = power_stats(mc)
+    if power.throttled_time <= 0:
+        failures.append("210 W cap produced zero throttle residency")
+    if t_cap <= t_base:
+        failures.append(f"capped dgemm not slower: {t_cap} vs {t_base}")
+    # power at the mid-run working point (floor in force) fits the cap
+    if mid["watts"] > 210.0 + 1e-6:
+        failures.append(f"capped working point draws {mid['watts']:.1f} W > 210")
+    # and the live sysfs frequency reflects the throttle while it holds
+    if mid["khz"] >= int(mc.devices[0].sku.clock_hz / 1e3):
+        failures.append(f"sysfs frequency {mid['khz']} kHz not throttled")
+    print(f"capped dgemm: {t_cap:.6f} s, working point {mid['watts']:.1f} W "
+          f"at {mid['khz']} kHz, "
+          f"residency {report.cards[0].throttle_residency:.0%}")
+
+    # 4. thermal trip + hysteresis (aggressive thermals to trip quickly)
+    hot = PowerConfig(thermal_tau_s=0.005, trip_c=80.0,
+                      trip_hysteresis_c=5.0,
+                      thermal_resistance_c_per_w=0.15)
+    mt = Machine(cards=1, power_model="knc", power_config=hot).boot()
+    dgemm_run(mt)
+    pm = mt.devices[0].power
+    if pm.thermal_trips < 1:
+        failures.append("aggressive thermals never tripped")
+    if pm.pstate_residency[-1] <= 0:
+        failures.append("thermal trip never forced the deepest P-state")
+    print(f"thermal: {pm.thermal_trips} trips, max {pm.max_temp_c:.1f} C")
+
+    # 5. reset restores boot defaults (cap, requests, thermal state)
+    mr = Machine(cards=1, power_model="knc").boot()
+    ctl = mr.pepc()
+    ctl.set_tdp(150.0)
+    ctl.set_pstate(3)
+    dgemm_run(mr)
+
+    def do_reset():
+        yield from mr.devices[0].reset(mr.fabric)
+
+    mr.sim.spawn(do_reset(), name="pepc-reset")
+    mr.run()
+    pr = mr.devices[0].power
+    if pr.tdp_cap != pr.default_cap:
+        failures.append(f"reset kept the {pr.tdp_cap} W cap")
+    if any(pr.requested) or pr.throttle_idx != 0 or pr.thermal_throttled:
+        failures.append("reset kept pre-reset P-state/throttle state")
+    if pr.temp_c != pr.config.ambient_c:
+        failures.append("reset kept the thermal accumulator")
+    print("reset: cap/P-state/thermal state restored to boot defaults")
+
+    # 6. addressing an unpowered card is a typed error, not a no-op
+    m0 = Machine(cards=1).boot()
+    try:
+        m0.pepc().info()
+        failures.append("pepc accepted a power_model='none' machine")
+    except SimError:
+        pass
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("\nok: throttle loop converges, trips recover, reset restores defaults")
+    return 0
+
+
+def _cmd_pepc(args) -> int:
+    """Query/set card power properties with pepc-style scopes.
+
+    Boots a power-modeled testbed, applies any ``--pstate``/``--tdp``/
+    ``--cstates``/``--uncore`` settings at the scope named by
+    ``--card``/``--core``/``--vm`` (default: global), then prints the
+    resulting property table.  ``--check`` instead runs the closed-loop
+    conformance scenario (the pepc-smoke CI gate).
+    """
+    from .phi import Scope
+    from .system import Machine
+
+    if args.check:
+        return _pepc_check()
+
+    machine = Machine(cards=args.cards, card_model=args.sku,
+                      power_model="knc").boot()
+    vms = None
+    if args.vm:
+        vms = {"vm0": machine.create_vm("vm0")}
+    ctl = machine.pepc(vms=vms)
+    if args.vm:
+        scope = Scope.one_vm("vm0")
+    elif args.core is not None:
+        scope = Scope.one_core(_parse_cores(args.core), card=args.card or 0)
+    elif args.card is not None:
+        scope = Scope.one_card(args.card)
+    else:
+        scope = Scope.everything()
+    if args.pstate is not None:
+        ctl.set_pstate(args.pstate, scope)
+    if args.tdp is not None:
+        ctl.set_tdp(args.tdp, scope)
+    if args.cstates is not None:
+        ctl.set_cstates(args.cstates == "on", scope)
+    if args.uncore is not None:
+        ctl.set_uncore(args.uncore, scope)
+    print(f"scope: {scope}")
+    print(_render_pepc(ctl.info()))
+    return 0
+
+
 #: scenarios ``profile`` can drive: name -> zero-arg runner factory.
 #: Each runs one figure's full deterministic workload (the same code
 #: path the benchmark gates measure), so the profile reflects the real
@@ -496,6 +701,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail unless admission control shed at least one "
                         "arrival")
     p.set_defaults(fn=_cmd_qos)
+
+    p = sub.add_parser(
+        "pepc",
+        help="query/set card power properties (P/C-states, TDP, uncore)",
+    )
+    p.add_argument("--sku", default="3120P", help="card model (default 3120P)")
+    p.add_argument("--cards", type=int, default=1)
+    p.add_argument("--card", type=int, default=None,
+                   help="scope: one card index (default: global)")
+    p.add_argument("--core", default=None,
+                   help="scope: core list like 0-3,7 (implies --card, "
+                        "default card 0)")
+    p.add_argument("--vm", action="store_true",
+                   help="scope: a guest VM (vm0 is created; resolves to "
+                        "the card its vPHI dispatch targets)")
+    p.add_argument("--pstate", type=int, default=None,
+                   help="request a P-state index (0 = fastest)")
+    p.add_argument("--tdp", type=float, default=None,
+                   help="set the RAPL-style TDP cap in watts")
+    p.add_argument("--cstates", choices=("on", "off"), default=None,
+                   help="enable/disable C-states on idle cores")
+    p.add_argument("--uncore", type=float, default=None,
+                   help="uncore frequency multiplier in [0.4, 1.0]")
+    p.add_argument("--check", action="store_true",
+                   help="run the closed-loop conformance scenario; exit "
+                        "non-zero on violation")
+    p.set_defaults(fn=_cmd_pepc)
 
     p = sub.add_parser(
         "profile", help="run one figure scenario under cProfile"

@@ -220,6 +220,10 @@ def _retarget_backend(cluster, vm, src: CardRef, dest: CardRef) -> None:
     dest_m = cluster.machines[dest.host]
 
     if src.host == dest.host:
+        # power-aware cost scaling must follow the VM to the new card
+        dev = dest_m.devices[dest.card]
+        inst.backend.device = dev
+        inst.backend._power = getattr(dev, "power", None)
         if inst.backend.pool is not None:
             old_arb = src_m.arbiter_for(src.card)
             new_arb = dest_m.arbiter_for(dest.card)
@@ -251,6 +255,7 @@ def _retarget_backend(cluster, vm, src: CardRef, dest: CardRef) -> None:
     backend = VPhiBackend(
         vm, inst.virtio, lib, dest_m.kernel, config=cfg, tracer=vm.tracer,
         faults=dest_m.faults, arbiter=arbiter,
+        device=dest_m.devices[dest.card],
     )
     # Continue the old backend's handle sequence: guest-visible handle
     # numbers from before the move must never be re-issued, or a fresh

@@ -38,7 +38,8 @@ class PlacementScheduler:
     POLICIES = ("spread", "pack")
 
     def __init__(self, cluster: "Cluster", policy: str = "spread",
-                 capacity: Optional[float] = None):
+                 capacity: Optional[float] = None,
+                 host_power_budget: Optional[float] = None):
         if policy not in self.POLICIES:
             raise ValueError(
                 f"unknown placement policy {policy!r} "
@@ -51,6 +52,12 @@ class PlacementScheduler:
         #: where the arbiter starts queueing.
         self.capacity = (capacity if capacity is not None
                          else float(cluster.machines[0].host_params.cores))
+        #: per-host power envelope in watts (None = unconstrained).  A
+        #: candidate card is power-feasible when the TDP caps of the
+        #: host's already-populated cards plus its own fit the budget —
+        #: placement and the runtime throttle loop argue about the same
+        #: watts, so capping a card (pepc) frees placement headroom.
+        self.host_power_budget = host_power_budget
         #: summed shares per card (every card, online or not).
         self.loads: dict["CardRef", float] = {
             ref: 0.0 for ref in cluster.cards
@@ -77,9 +84,43 @@ class PlacementScheduler:
         return [n for n, (r, _) in self.assignments.items() if r == ref]
 
     # ------------------------------------------------------------------
+    def card_watts(self, ref) -> float:
+        """One card's power claim: its TDP cap (live, pepc-settable)
+        with the power model on, its SKU TDP otherwise."""
+        device = self.cluster.machine(ref).devices[ref.card]
+        if device.power is not None:
+            return float(device.power.tdp_cap)
+        return float(device.sku.tdp_watts)
+
+    def _power_feasible(self, candidates: list) -> list:
+        """Filter candidates to cards whose host power budget has room.
+
+        A host's claim is the summed watts of its cards that already
+        carry VMs; a candidate is feasible when adding its own claim
+        (if not already populated) stays within the budget.
+        """
+        budget = self.host_power_budget
+        if budget is None:
+            return candidates
+        populated = {ref for ref, load in self.loads.items() if load > 0}
+        claimed: dict[int, float] = {}
+        for ref in populated:
+            claimed[ref.host] = claimed.get(ref.host, 0.0) + self.card_watts(ref)
+        feasible = []
+        for ref in candidates:
+            extra = 0.0 if ref in populated else self.card_watts(ref)
+            if claimed.get(ref.host, 0.0) + extra <= budget + 1e-9:
+                feasible.append(ref)
+        return feasible
+
     def _choose(self, share: float, candidates: list) -> Optional["CardRef"]:
         if not candidates:
             return None
+        powered = self._power_feasible(candidates)
+        if powered:
+            candidates = powered
+        # (an infeasible-everywhere request oversubscribes the budget
+        # rather than refusing, mirroring the pack-capacity fallback)
         if self.policy == "pack":
             for ref in sorted(candidates):
                 if self.loads[ref] + share <= self.capacity:

@@ -170,6 +170,9 @@ class Cluster:
         fabric_topology: str = "flat",
         tracer: Optional[Tracer] = None,
         sim: Optional[Simulator] = None,
+        power_model: str = "none",
+        power_config=None,
+        host_power_budget: Optional[float] = None,
     ):
         if hosts < 1:
             raise ValueError("cluster needs at least one host")
@@ -181,7 +184,8 @@ class Cluster:
         self.machines = [
             Machine(cards=cards_per_host, card_model=card_model,
                     host_params=host_params, sim=self.sim,
-                    tracer=self.tracer, fault_plan=fault_plan)
+                    tracer=self.tracer, fault_plan=fault_plan,
+                    power_model=power_model, power_config=power_config)
             for _ in range(hosts)
         ]
         self.fabric = InterHostFabric(
@@ -189,7 +193,8 @@ class Cluster:
             hop_bandwidth=hop_bandwidth, topology=fabric_topology,
             tracer=self.tracer,
         )
-        self.scheduler = PlacementScheduler(self, policy=placement)
+        self.scheduler = PlacementScheduler(
+            self, policy=placement, host_power_budget=host_power_budget)
         #: VM name -> current CardRef (evicted VMs drop out).
         self.placements: dict[str, CardRef] = {}
         #: VM name -> VirtualMachine, for every VM ever created.
@@ -235,6 +240,13 @@ class Cluster:
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)
+
+    def pepc(self):
+        """The pepc-style power control plane over every card, with VM
+        scope resolved through the cluster's placements."""
+        from ..phi.pepc import PowerControl
+
+        return PowerControl(self.machines, vms=self.vms)
 
     # ------------------------------------------------------------------
     def create_vm(

@@ -18,7 +18,7 @@ def micinfo(sysfs, cards: int = 1) -> str:
             f"    SKU             : {sysfs.read(f'{base}/version')}",
             f"    State           : {sysfs.read(f'{base}/state')}",
             f"    Total # of cores: {sysfs.read(f'{base}/cores_count')}",
-            f"    Frequency (Hz)  : {sysfs.read(f'{base}/cores_frequency')}",
+            f"    Frequency (kHz) : {sysfs.read(f'{base}/cores_frequency')}",
             f"    GDDR size (KiB) : {sysfs.read(f'{base}/memsize')}",
         ]
     return "\n".join(lines)

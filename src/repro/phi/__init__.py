@@ -1,6 +1,20 @@
 """Xeon Phi coprocessor device model."""
 
 from .device import DeviceState, XeonPhiDevice
+from .pepc import PowerControl, Scope
+from .power import PhiPowerModel, PowerConfig, PState, pstate_table
 from .specs import SKUS, PhiSKU, sku
 
-__all__ = ["DeviceState", "PhiSKU", "SKUS", "XeonPhiDevice", "sku"]
+__all__ = [
+    "DeviceState",
+    "PState",
+    "PhiPowerModel",
+    "PhiSKU",
+    "PowerConfig",
+    "PowerControl",
+    "SKUS",
+    "Scope",
+    "XeonPhiDevice",
+    "pstate_table",
+    "sku",
+]

@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..mem import PhysicalMemory
 from ..pcie import DMAEngine, LinkConfig, PCIeLink
-from ..sim import Simulator, ms
+from ..sim import SimError, Simulator, ms
 from .specs import PhiSKU, sku
 
 __all__ = ["DeviceState", "XeonPhiDevice"]
@@ -43,6 +43,8 @@ class XeonPhiDevice:
         model: str | PhiSKU = "3120P",
         index: int = 0,
         link_config: Optional[LinkConfig] = None,
+        power_model: str = "none",
+        power_config=None,
     ):
         self.sim = sim
         self.sku = model if isinstance(model, PhiSKU) else sku(model)
@@ -56,36 +58,102 @@ class XeonPhiDevice:
         self.node_id: Optional[int] = None
         #: the uOS instance once booted.
         self.uos = None
+        #: the power/thermal model, when opted in (``power_model="knc"``).
+        self.power = None
+        if power_model == "knc":
+            from .power import PhiPowerModel
+
+            self.power = PhiPowerModel(
+                sim, self.sku, config=power_config, name=self.name)
+        elif power_model != "none":
+            raise SimError(
+                f"unknown power model {power_model!r}; use 'none' or 'knc'")
+        #: gate serializing boot/reset transitions (None when settled).
+        self._transition = None
 
     #: simulated reset time (firmware handshake + GDDR retrain).
     RESET_TIME = ms(20)
 
+    def _await_settled(self):
+        """Process: wait out any in-flight boot/reset transition.
+
+        Without this gate, two concurrent ``boot()`` processes while the
+        state is BOOTING (or a boot racing a ``reset()``) each run the
+        full sequence and construct their own UOS, silently orphaning
+        one — peers would then talk to a uOS the device no longer owns.
+        """
+        while self._transition is not None:
+            gate = self._transition
+            if not gate.triggered:
+                yield gate
+            else:  # fired but not yet swept; settle on the next tick
+                yield self.sim.timeout(0)
+
+    def _open_transition(self):
+        gate = self.sim.event(name=f"{self.name}-transition")
+        self._transition = gate
+        return gate
+
+    def _close_transition(self, gate) -> None:
+        self._transition = None
+        if not gate.triggered:
+            gate.succeed(None)
+
     def boot(self):
-        """Process: boot the uOS.  ``yield from device.boot()``."""
+        """Process: boot the uOS.  ``yield from device.boot()``.
+
+        Concurrent boots serialize on the transition gate and all
+        return the *same* UOS instance.
+        """
         from ..uos import UOS  # deferred: uos imports phi
 
+        yield from self._await_settled()
         if self.state is DeviceState.ONLINE:
             return self.uos
+        gate = self._open_transition()
         self.state = DeviceState.BOOTING
-        yield self.sim.timeout(self.BOOT_TIME)
-        self.uos = UOS(self.sim, self)
-        self.state = DeviceState.ONLINE
-        return self.uos
+        try:
+            yield self.sim.timeout(self.BOOT_TIME)
+            self.uos = UOS(self.sim, self)
+            self.state = DeviceState.ONLINE
+            if self.power is not None:
+                self.power.attach_scheduler(self.uos.scheduler)
+            return self.uos
+        finally:
+            self._close_transition(gate)
 
     def reset(self, fabric=None):
         """Process: hard-reset the card (``micctrl --reset``).
 
         The uOS dies, every SCIF endpoint on the card's node is swept
-        (peers observe connection resets), and the card returns to READY
-        awaiting a fresh :meth:`boot`.
+        (peers observe connection resets), power/clock state returns to
+        boot defaults (a post-reset card must not inherit the pre-reset
+        throttle level), and the card returns to READY awaiting a fresh
+        :meth:`boot`.  A reset racing an in-flight boot waits for the
+        boot to settle first.
         """
+        yield from self._await_settled()
+        gate = self._open_transition()
         self.state = DeviceState.RESET
-        if fabric is not None and self.node_id is not None:
-            fabric.node(self.node_id).reset()
-        self.uos = None
-        yield self.sim.timeout(self.RESET_TIME)
-        self.state = DeviceState.READY
-        return self
+        try:
+            if fabric is not None and self.node_id is not None:
+                fabric.node(self.node_id).reset()
+            if self.power is not None:
+                self.power.reset_state()
+            self.uos = None
+            yield self.sim.timeout(self.RESET_TIME)
+            self.state = DeviceState.READY
+            return self
+        finally:
+            self._close_transition(gate)
+
+    @property
+    def current_clock_hz(self) -> float:
+        """The card's live core clock: the SKU clock, or the effective
+        (possibly throttled) frequency when the power model is on."""
+        if self.power is not None:
+            return self.power.card_clock_hz()
+        return float(self.sku.clock_hz)
 
     def sysfs_attrs(self) -> dict[str, str]:
         """The attribute set the host mic driver exports for this card —
@@ -95,7 +163,8 @@ class XeonPhiDevice:
             "version": self.sku.name,
             "state": self.state.value,
             "cores_count": str(self.sku.cores),
-            "cores_frequency": str(int(self.sku.clock_hz)),
+            # kHz, like mpss (and live: reflects the throttled clock)
+            "cores_frequency": str(int(self.current_clock_hz / 1e3)),
             "memsize": str(self.sku.gddr_bytes // 1024),  # KiB, like mpss
             "active_cores": str(self.sku.usable_cores),
             "post_code": "FF",

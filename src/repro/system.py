@@ -41,6 +41,8 @@ class Machine:
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
         fault_plan: Optional[FaultPlan] = None,
+        power_model: str = "none",
+        power_config=None,
     ):
         if cards < 0:
             raise ValueError("cards must be >= 0")
@@ -50,8 +52,13 @@ class Machine:
         self.host_params = host_params
         self.ram = PhysicalMemory(host_params.ram_bytes, name="host-ram")
         self.kernel = HostKernel(self.sim, self.ram)
+        #: the card power model in force (``"none"`` keeps every series
+        #: byte-identical to the pre-power era; ``"knc"`` opts in).
+        self.power_model = power_model
         self.devices = [
-            XeonPhiDevice(self.sim, card_model, index=i) for i in range(cards)
+            XeonPhiDevice(self.sim, card_model, index=i,
+                          power_model=power_model, power_config=power_config)
+            for i in range(cards)
         ]
         self.fabric = ScifFabric(self.sim, tracer=self.tracer)
         #: deterministic fault source shared by every injection site on
@@ -59,6 +66,8 @@ class Machine:
         self.faults = FaultInjector(fault_plan, self.sim, self.tracer)
         for dev in self.devices:
             self.faults.attach_link(dev.link)
+            if dev.power is not None:
+                dev.power.tracer = self.tracer
         #: per-card dispatch arbiters, created lazily by
         #: :meth:`arbiter_for` (card 0's doubles as the legacy
         #: ``vphi_arbiter`` attribute).
@@ -151,6 +160,17 @@ class Machine:
         if policy is not None:
             arb.set_policy(policy)
         return arb
+
+    def pepc(self, vms: Optional[dict] = None):
+        """The pepc-style power control plane over this machine's cards.
+
+        ``vms`` optionally maps VM names to their
+        :class:`~repro.kvm.VirtualMachine` so VM-scoped operations
+        resolve (a VM's scope is the card its vPHI dispatch targets).
+        """
+        from .phi.pepc import PowerControl
+
+        return PowerControl([self], vms=vms)
 
     def host_process(self, name: str) -> OSProcess:
         """Create a host user process."""

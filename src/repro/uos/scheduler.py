@@ -101,6 +101,13 @@ class MICScheduler:
         self.flops_delivered = 0.0
         #: simulated seconds with at least one active job.
         self.busy_time = 0.0
+        #: frequency multiplier applied to the card's aggregate
+        #: throughput (the power model's throttle loop drives it; 1.0
+        #: means full clock and is byte-identical to the pre-power era).
+        self.clock_scale = 1.0
+        #: the attached :class:`~repro.phi.power.PhiPowerModel`, if the
+        #: owning device opted into power modeling.
+        self.power = None
 
     # ------------------------------------------------------------------
     def submit(self, flops: float, threads: int, efficiency: float = 1.0,
@@ -115,10 +122,14 @@ class MICScheduler:
             raise SimError(f"efficiency must be in (0, 1], got {efficiency}")
         done = self.sim.event(name=f"job:{name}")
         job = ComputeJob(name, threads, flops, efficiency, done, self.sim.now)
+        if self.power is not None:
+            self.power.advance()  # integrate the pre-change segment
         self._advance()
         self._active.append(job)
         self.peak_demand = max(self.peak_demand, self.total_demand)
         self._reschedule()
+        if self.power is not None:
+            self.power.on_scheduler_change()
         return done
 
     @property
@@ -159,6 +170,8 @@ class MICScheduler:
         total_tp = placement_throughput(total, self.sku)
         if total > self.slots:
             total_tp *= MULTIPLEX_PENALTY
+        if self.clock_scale != 1.0:
+            total_tp *= self.clock_scale
         for job in self._active:
             job.rate = total_tp * (job.threads / total) * job.efficiency
 
@@ -177,9 +190,24 @@ class MICScheduler:
         if soonest is not None:
             self.sim.call_at(soonest, lambda: self._on_completion_check(epoch))
 
+    def set_clock_scale(self, scale: float) -> None:
+        """Rescale the card's aggregate throughput (throttle feedback).
+
+        Progress accrued so far is credited at the old rate before the
+        new scale takes effect, so a mid-job frequency change is exact.
+        """
+        if scale == self.clock_scale:
+            return
+        self._advance()
+        self.clock_scale = scale
+        if self._active:
+            self._reschedule()
+
     def _on_completion_check(self, epoch: int) -> None:
         if epoch != self._epoch:
             return  # superseded by a newer schedule
+        if self.power is not None:
+            self.power.advance()  # integrate the pre-change segment
         self._advance()
         finished = [j for j in self._active if j.remaining <= 1e-6 * max(j.flops_total, 1.0)]
         for job in finished:
@@ -190,6 +218,8 @@ class MICScheduler:
             job.done.succeed(job)
         if self._active:
             self._reschedule()
+        if finished and self.power is not None:
+            self.power.on_scheduler_change()
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of the card's usable peak delivered over ``elapsed``

@@ -71,6 +71,7 @@ class VPhiBackend:
         tracer: Optional[Tracer] = None,
         faults: Optional[FaultInjector] = None,
         arbiter: Optional[CardArbiter] = None,
+        device=None,
     ):
         self.vm = vm
         self.sim = vm.sim
@@ -79,6 +80,10 @@ class VPhiBackend:
         self.host_kernel = host_kernel
         self.config = config or VPhiConfig()
         self.costs = costs
+        #: the card this backend dispatches against; its power model
+        #: (when opted in) scales the fixed cost hooks with frequency.
+        self.device = device
+        self._power = getattr(device, "power", None)
         # default to the owning VM's tracer so frontend + backend share
         # one timeline (a fresh Tracer here would silently drop half of it)
         self.tracer = tracer or getattr(vm, "tracer", None) or Tracer()
@@ -265,10 +270,10 @@ class VPhiBackend:
         keys = self._pooled_keys
         for slot in np.nonzero(counts)[0]:
             tracer.count(keys[slot], int(counts[slot]))
-        tracer.accumulate(
-            "vphi.backend.batch_fixed_cost",
-            float(counts @ self._pre_cost_vec + counts @ self._post_cost_vec),
-        )
+        fixed = float(counts @ self._pre_cost_vec + counts @ self._post_cost_vec)
+        if self._power is not None:
+            fixed *= self._power.cost_multiplier()
+        tracer.accumulate("vphi.backend.batch_fixed_cost", fixed)
 
     def request_retired(self) -> None:
         """One request left the in-flight set; re-drain for parked work."""
@@ -339,19 +344,27 @@ class VPhiBackend:
 
         Returns ``(result, written)``.
         """
+        scale = 1.0
+        if self._power is not None and (spec.pre_cost is not None
+                                        or spec.post_cost is not None):
+            scale = self._power.cost_multiplier()
+            if scale != 1.0:
+                # throttled dispatch: the slow op lands in the same span
+                # phases, so the p99 spike is attributable in the breakdown
+                self.tracer.count("vphi.backend.throttled_ops")
         pre = spec.pre_cost
         if pre is not None:
-            yield self.sim.timeout(
+            yield self.sim.timeout(scale * (
                 self._fixed_cost(spec.op, pre, self._fixed_pre)
                 if isinstance(pre, tuple) else pre(self, req)
-            )
+            ))
         result, written = yield from spec.handler(self, req, elem, req.args)
         post = spec.post_cost
         if post is not None:
-            yield self.sim.timeout(
+            yield self.sim.timeout(scale * (
                 self._fixed_cost(spec.op, post, self._fixed_post)
                 if isinstance(post, tuple) else post(self, req)
-            )
+            ))
         return result, written
 
     # ------------------------------------------------------------------

@@ -110,9 +110,13 @@ def install_vphi(machine, vm, config: Optional[VPhiConfig] = None,
         # reinstall — configure() is safe mid-flight).
         arbiter.configure(vm.name, weight=config.qos_share,
                           priority=config.qos_priority)
+    # the card's device object (None on duck-typed test machines): its
+    # power model, when enabled, makes backend dispatch frequency-aware
+    devices = getattr(machine, "devices", None)
+    device = devices[card] if devices is not None and card < len(devices) else None
     backend = VPhiBackend(
         vm, virtio, lib, machine.kernel, config=config, tracer=vm.tracer,
-        faults=faults, arbiter=arbiter,
+        faults=faults, arbiter=arbiter, device=device,
     )
     # a machine-owned injector learns every backend sharing the card so a
     # CARD_RESET broadcast reaches all of them (the shared NO_FAULTS

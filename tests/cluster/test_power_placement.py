@@ -1,0 +1,85 @@
+"""Host power budgets constrain placement (and pepc caps free headroom)."""
+
+from repro.cluster import CardRef, Cluster
+from repro.phi import Scope
+
+TDP = 300.0  # the 3120P's SKU TDP
+
+
+def powered_cluster(budget=None, **kw):
+    return Cluster(hosts=2, cards_per_host=2, power_model="knc",
+                   host_power_budget=budget, **kw).boot()
+
+
+class TestPowerBudget:
+    def test_budget_spreads_across_hosts(self):
+        """One 300 W card fills a 300 W host: the second VM must land on
+        the other host even though spread would pick the same host."""
+        cluster = powered_cluster(budget=TDP)
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        assert cluster.placements["vm0"] == CardRef(0, 0)
+        assert cluster.placements["vm1"] == CardRef(1, 0)
+
+    def test_full_hosts_stack_onto_powered_cards(self):
+        """Both hosts at their envelope: the next VM shares an
+        already-powered card (no extra claim) instead of energizing a
+        fresh one over budget."""
+        cluster = powered_cluster(budget=TDP)
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        cluster.create_vm("vm2")
+        assert cluster.placements["vm2"] == CardRef(0, 0)
+
+    def test_infeasible_everywhere_oversubscribes(self):
+        """A budget below any single card's claim can never be met: the
+        VM is placed anyway (least-loaded), mirroring the pack-capacity
+        oversubscribe-rather-than-refuse fallback."""
+        cluster = powered_cluster(budget=TDP / 2)
+        cluster.create_vm("vm0")
+        assert cluster.placements["vm0"] == CardRef(0, 0)
+
+    def test_pepc_cap_frees_placement_headroom(self):
+        """Capping the cards halves their power claim, so two fit under
+        the same budget on one host — placement and the throttle loop
+        argue about the same watts."""
+        cluster = powered_cluster(budget=TDP)
+        cluster.pepc().set_tdp(TDP / 2, Scope.everything())
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        assert cluster.placements["vm0"] == CardRef(0, 0)
+        assert cluster.placements["vm1"] == CardRef(0, 1)
+
+    def test_no_budget_is_unconstrained(self):
+        cluster = powered_cluster(budget=None)
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        assert cluster.placements["vm1"].host == 0  # plain spread
+
+    def test_card_watts_tracks_the_live_cap(self):
+        cluster = powered_cluster(budget=TDP)
+        ref = CardRef(0, 0)
+        assert cluster.scheduler.card_watts(ref) == TDP
+        cluster.pepc().set_tdp(180.0, Scope.one_card(0, host=0))
+        assert cluster.scheduler.card_watts(ref) == 180.0
+
+    def test_unpowered_cluster_claims_sku_tdp(self):
+        cluster = Cluster(hosts=1, cards_per_host=2,
+                          host_power_budget=2 * TDP).boot()
+        assert cluster.scheduler.card_watts(CardRef(0, 0)) == TDP
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        assert cluster.placements["vm1"] == CardRef(0, 1)
+
+
+class TestMigrationKeepsBudgets:
+    def test_pick_dest_respects_the_budget(self):
+        cluster = powered_cluster(budget=TDP)
+        cluster.create_vm("vm0")
+        cluster.create_vm("vm1")
+        dest = cluster.scheduler.pick_dest(
+            "vm0", exclude=(cluster.placements["vm0"],))
+        # powering up a fresh card would blow either host's envelope;
+        # the one feasible destination is the card already claiming its
+        # host's watts (vm1's) — consolidation is free, power-wise
+        assert dest == CardRef(1, 0)

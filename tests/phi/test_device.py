@@ -61,6 +61,68 @@ def test_double_boot_is_idempotent():
     assert run_with(sim, proc()) is True
 
 
+def test_concurrent_boots_share_one_uos():
+    """Regression: two boot() processes racing while the card was
+    BOOTING each ran the full sequence and constructed their own UOS,
+    orphaning one.  They must serialize and return the same instance."""
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+    got = []
+
+    def booter():
+        uos = yield from dev.boot()
+        got.append((sim.now, uos))
+
+    sim.spawn(booter())
+    sim.spawn(booter())
+    sim.run()
+    assert len(got) == 2
+    assert got[0][1] is got[1][1] is dev.uos
+    # the loser waited out the winner's boot, not a second boot
+    assert got[0][0] == got[1][0] == XeonPhiDevice.BOOT_TIME
+
+
+def test_boot_racing_reset_serializes():
+    """A reset issued mid-boot waits for the boot to settle, then tears
+    the card down — it never interleaves with the boot sequence."""
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+    order = []
+
+    def booter():
+        yield from dev.boot()
+        order.append(("booted", sim.now))
+
+    def resetter():
+        yield sim.timeout(XeonPhiDevice.BOOT_TIME / 2)
+        yield from dev.reset()
+        order.append(("reset", sim.now))
+
+    sim.spawn(booter())
+    sim.spawn(resetter())
+    sim.run()
+    assert [e for e, _ in order] == ["booted", "reset"]
+    assert order[1][1] == XeonPhiDevice.BOOT_TIME + XeonPhiDevice.RESET_TIME
+    assert dev.state is DeviceState.READY
+    assert dev.uos is None
+
+
+def test_boot_after_reset_constructs_a_fresh_uos():
+    sim = Simulator()
+    dev = XeonPhiDevice(sim, "3120P")
+
+    def proc():
+        first = yield from dev.boot()
+        yield from dev.reset()
+        second = yield from dev.boot()
+        return first, second
+
+    first, second = run_with(sim, proc())
+    assert first is not second
+    assert dev.uos is second
+    assert dev.state is DeviceState.ONLINE
+
+
 def test_sysfs_attrs_reflect_sku_and_state():
     sim = Simulator()
     dev = XeonPhiDevice(sim, "3120P", index=2)

@@ -1,0 +1,104 @@
+"""pepc control plane: scope resolution, property set/get, CLI."""
+
+import pytest
+
+from repro import Machine
+from repro.cli import main
+from repro.phi import PowerControl, Scope
+from repro.sim import SimError
+
+
+def powered(cards=2):
+    return Machine(cards=cards, power_model="knc").boot()
+
+
+class TestScopes:
+    def test_global_addresses_every_card(self):
+        m = powered(cards=2)
+        rows = m.pepc().info()
+        assert [r["card"] for r in rows] == ["mic0", "mic1"]
+        assert all(r["state"] == "online" for r in rows)
+
+    def test_card_scope_addresses_one_card(self):
+        m = powered(cards=2)
+        ctl = m.pepc()
+        ctl.set_tdp(200.0, Scope.one_card(1))
+        rows = ctl.info()
+        assert rows[0]["tdp_cap_w"] == m.devices[0].sku.tdp_watts
+        assert rows[1]["tdp_cap_w"] == 200.0
+
+    def test_core_scope_addresses_a_subset(self):
+        m = powered(cards=1)
+        ctl = m.pepc()
+        ctl.set_pstate(3, Scope.one_core([0, 1], card=0))
+        row = ctl.info(Scope.one_card(0))[0]
+        assert row["requested_pstate"][0] == 3
+        assert row["requested_pstate"][1] == 3
+        assert row["requested_pstate"][2] == 0
+        # effective clock follows the request when nothing throttles
+        assert row["effective_khz"][0] == 800_000
+        assert row["effective_khz"][2] == 1_100_000
+
+    def test_scope_str_forms(self):
+        assert str(Scope.everything()) == "global"
+        assert str(Scope.one_card(0)) == "c0"
+        assert str(Scope.one_card(1, host=0)) == "h0c1"
+        assert str(Scope.one_core([0, 3], card=2)) == "c2:cores[0, 3]"
+        assert str(Scope.one_vm("vm0")) == "vm:vm0"
+
+    def test_unmatched_scope_is_an_error(self):
+        m = powered(cards=1)
+        with pytest.raises(SimError, match="matches no cards"):
+            m.pepc().info(Scope.one_card(7))
+
+    def test_unknown_level_is_an_error(self):
+        m = powered(cards=1)
+        with pytest.raises(SimError, match="scope level"):
+            m.pepc().info(Scope("package"))
+
+
+class TestVmScope:
+    def test_vm_scope_resolves_to_its_card(self):
+        m = powered(cards=2)
+        vm = m.create_vm("vm0", card=1)
+        ctl = m.pepc(vms={"vm0": vm})
+        ctl.set_pstate(2, Scope.one_vm("vm0"))
+        rows = ctl.info()
+        assert set(rows[0]["requested_pstate"].values()) == {0}
+        assert set(rows[1]["requested_pstate"].values()) == {2}
+
+    def test_unknown_vm_is_an_error(self):
+        m = powered(cards=1)
+        with pytest.raises(SimError, match="unknown VM"):
+            m.pepc().set_pstate(1, Scope.one_vm("ghost"))
+
+
+class TestErrors:
+    def test_unpowered_card_is_a_typed_error(self):
+        m = Machine(cards=1).boot()
+        with pytest.raises(SimError, match="power_model='knc'"):
+            m.pepc().info()
+
+    def test_no_machines_rejected(self):
+        with pytest.raises(SimError, match="at least one machine"):
+            PowerControl([])
+
+
+class TestCli:
+    def test_pepc_card_scope_sets_and_renders(self, capsys):
+        assert main(["pepc", "--card", "0", "--tdp", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "scope: c0" in out
+        assert "200" in out
+        assert "mic0" in out
+
+    def test_pepc_core_scope_renders_a_range(self, capsys):
+        assert main(["pepc", "--core", "0-3", "--pstate", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cores[0, 1, 2, 3]" in out
+        assert "P0-P5" in out
+
+    def test_pepc_vm_scope(self, capsys):
+        assert main(["pepc", "--vm", "--pstate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scope: vm:vm0" in out
